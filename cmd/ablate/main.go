@@ -1,0 +1,46 @@
+// Command ablate runs the design-choice ablation studies (directory
+// cache size, memory controller count, router pipeline depth, over-commit
+// timeslice) and prints their tables.
+//
+//	ablate                 # all studies at 1/4 scale
+//	ablate -exp A1 -scale 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"consim"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "comma-separated ablation IDs (default: all of A1..A4)")
+		scale = flag.Int("scale", 4, "divide cache capacities and footprints")
+		warm  = flag.Uint64("warm", 300_000, "warm-up references per core")
+		meas  = flag.Uint64("meas", 500_000, "measured references per core")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	ids := consim.AblationIDs()
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	}
+	r := consim.NewRunner(consim.RunnerOptions{
+		Scale: *scale, WarmupRefs: *warm, MeasureRefs: *meas, Seed: *seed,
+	})
+	for _, id := range ids {
+		start := time.Now()
+		t, err := r.RunAblation(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablate:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Text())
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

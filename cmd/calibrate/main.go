@@ -1,0 +1,82 @@
+// Command calibrate runs each workload model in isolation on the private
+// LLC configuration (Table II's reference setup) and prints measured vs
+// paper statistics, for tuning the workload parameters in
+// internal/workload/spec.go.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"consim/internal/core"
+	"consim/internal/workload"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "divide footprints and cache capacities")
+	warm := flag.Uint64("warm", 600_000, "warm-up references per core")
+	meas := flag.Uint64("meas", 1_000_000, "measured references per core")
+	only := flag.String("only", "", "run a single workload by name")
+	gradient := flag.Bool("gradient", false, "also print the capacity gradient (miss rate and runtime at shared/shared-4/private)")
+	flag.Parse()
+
+	fmt.Printf("%-9s %7s %7s %7s | %7s %7s %7s | %9s %9s | %8s %8s\n",
+		"workload", "c2c", "clean", "dirty", "tgt", "tgtCl", "tgtDy", "blocksK", "tgtBlkK", "missRate", "missLat")
+	for _, spec := range workload.Specs() {
+		if *only != "" && spec.Name != *only {
+			continue
+		}
+		tgt := workload.TableII()[spec.Class]
+		cfg := core.DefaultConfig(spec)
+		cfg.GroupSize = 1
+		cfg.Scale = *scale
+		cfg.WarmupRefs = *warm
+		cfg.MeasureRefs = *meas
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		v := res.VMs[0]
+		st := v.Stats
+		fmt.Printf("%-9s %7.3f %7.3f %7.3f | %7.2f %7.2f %7.2f | %9d %9d | %8.4f %8.1f\n",
+			spec.Name,
+			st.C2COfLLCMisses(), 1-st.C2CDirtyShare(), st.C2CDirtyShare(),
+			tgt.C2CAll, tgt.C2CClean, tgt.C2CDirty,
+			v.TouchedBlocks/1000, tgt.BlocksK,
+			v.MissRate(), v.AvgMissLatency())
+
+		if *gradient {
+			base := 0.0
+			for _, gs := range []int{16, 4, 1} {
+				cfg := core.DefaultConfig(spec)
+				cfg.GroupSize = gs
+				cfg.Scale = *scale
+				cfg.WarmupRefs = *warm
+				cfg.MeasureRefs = *meas
+				sys, err := core.NewSystem(cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				gres, err := sys.Run()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				gv := gres.VMs[0]
+				if gs == 16 {
+					base = gv.CyclesPerTx
+				}
+				fmt.Printf("          gs=%-2d missRate=%.4f missLat=%6.1f relPerf=%.3f\n",
+					gs, gv.MissRate(), gv.AvgMissLatency(), gv.CyclesPerTx/base)
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Command consim runs one consolidation simulation from flags and prints
+// per-VM metrics.
+//
+// Examples:
+//
+//	consim -mix 5 -group 4 -policy affinity
+//	consim -workloads TPC-H -group 1 -scale 4
+//	consim -workloads TPC-W,TPC-W,SPECjbb,SPECjbb -policy rr
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"consim"
+	"consim/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "consim:", err)
+		os.Exit(1)
+	}
+}
+
+// printPlacement draws the paper's Figure 1 view: the mesh grid with
+// each core labeled by the VM running on it, and LLC group boundaries
+// marked by the grouping of columns.
+func printPlacement(cfg consim.Config, asg [][]int) {
+	w := 1
+	for w*w < cfg.Cores {
+		w++
+	}
+	owner := make([]int, cfg.Cores)
+	for c := range owner {
+		owner[c] = -1
+	}
+	for v, cores := range asg {
+		for _, c := range cores {
+			owner[c] = v
+		}
+	}
+	fmt.Printf("\nplacement (rows = mesh; cores grouped %d per LLC):\n", cfg.GroupSize)
+	for c := 0; c < cfg.Cores; c++ {
+		if c%w == 0 {
+			fmt.Print("  ")
+		}
+		if owner[c] < 0 {
+			fmt.Print(" .. ")
+		} else {
+			fmt.Printf(" v%-2d", owner[c])
+		}
+		if c%cfg.GroupSize == cfg.GroupSize-1 {
+			fmt.Print("|")
+		}
+		if c%w == w-1 {
+			fmt.Println()
+		}
+	}
+}
+
+func run() error {
+	var (
+		mixID     = flag.String("mix", "", "Table IV mix to run (1-9, A-D); overrides -workloads")
+		workloads = flag.String("workloads", "TPC-H", "comma-separated workload names (one VM each)")
+		group     = flag.Int("group", 4, "cores per LLC group (1=private, 2/4/8, 16=fully shared)")
+		policy    = flag.String("policy", "affinity", "scheduling policy: rr, affinity, aff-rr, random")
+		scale     = flag.Int("scale", 1, "divide cache capacities and footprints (1 = paper scale)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		warm      = flag.Uint64("warm", 600_000, "warm-up references per core")
+		meas      = flag.Uint64("meas", 1_000_000, "measured references per core")
+		snapshot  = flag.Bool("snapshot", false, "print the replication/occupancy snapshot")
+		asJSON    = flag.Bool("json", false, "emit the full result as JSON")
+		regions   = flag.Bool("regions", false, "break each VM's LLC misses down by footprint region")
+	)
+	flag.Parse()
+
+	var specs []consim.WorkloadSpec
+	if *mixID != "" {
+		mix, err := consim.MixByID(*mixID)
+		if err != nil {
+			return err
+		}
+		all := consim.WorkloadSpecs()
+		for _, c := range mix.Classes {
+			specs = append(specs, all[c])
+		}
+		fmt.Printf("running %s (%s)\n", mix.ID, mix.Name())
+	} else {
+		for _, name := range strings.Split(*workloads, ",") {
+			spec, err := consim.WorkloadByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			specs = append(specs, spec)
+		}
+	}
+	pol, err := consim.PolicyByName(*policy)
+	if err != nil {
+		return err
+	}
+
+	cfg := consim.DefaultConfig(specs...)
+	cfg.GroupSize = *group
+	cfg.Policy = pol
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.WarmupRefs = *warm
+	cfg.MeasureRefs = *meas
+
+	sys, err := consim.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("machine: %d cores, %s LLC, %s scheduling, scale 1/%d\n",
+		cfg.Cores, cfg.SharingName(), cfg.Policy, cfg.Scale)
+	for v, cores := range sys.Assignment() {
+		fmt.Printf("  vm%d %-8s threads on cores %v\n", v, specs[v].Name, cores)
+	}
+	printPlacement(cfg, sys.Assignment())
+
+	res, err := sys.Run()
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+
+	fmt.Printf("\nmeasurement window: %d cycles\n", res.Cycles)
+	fmt.Printf("%-4s %-8s %12s %10s %10s %8s %8s %8s %8s\n",
+		"vm", "workload", "refs", "cyc/tx", "missRate", "missLat", "c2c", "c2cDirty", "memReads")
+	for _, v := range res.VMs {
+		fmt.Printf("%-4d %-8s %12d %10.0f %10.4f %8.1f %8.3f %8.3f %8d\n",
+			v.VM, v.Name, v.Stats.Refs, v.CyclesPerTx, v.MissRate(),
+			v.AvgMissLatency(), v.Stats.C2CFraction(), v.Stats.C2CDirtyShare(), v.Stats.MemReads)
+	}
+	if *regions {
+		fmt.Printf("\nLLC misses by footprint region:\n")
+		for _, v := range res.VMs {
+			fmt.Printf("  vm%d %-8s", v.VM, v.Name)
+			total := v.Stats.LLCMisses
+			for r, n := range v.Stats.RegionMisses {
+				frac := 0.0
+				if total > 0 {
+					frac = float64(n) / float64(total)
+				}
+				fmt.Printf(" %s=%.2f", workload.RegionName(workload.Region(r)), frac)
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Printf("\ninterconnect: %.2f mean hops, %.2f mean link-wait cycles\n", res.NetAvgHops, res.NetAvgWait)
+	fmt.Printf("memory: %.2f mean controller-queue cycles; directory cache hit rate %.3f\n",
+		res.MemAvgWait, res.DirCacheHitRate)
+
+	if *snapshot {
+		s := res.Snapshot
+		fmt.Printf("\nsnapshot @%d: %d resident lines, %.1f%% replicated\n",
+			s.At, s.ResidentLines, 100*s.ReplicationFraction())
+		for g := range s.Occupancy {
+			fmt.Printf("  bank %d:", g)
+			for v := range res.VMs {
+				fmt.Printf(" vm%d=%5.1f%%", v, 100*s.OccupancyShare(g, v))
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation section (Table II and Figures 2-13) and prints them as text
+// or markdown. This is the harness behind EXPERIMENTS.md.
+//
+//	tables                      # everything, full scale (~30-40 min)
+//	tables -scale 4 -parallel 8 # reduced scale, parallel (~minutes)
+//	tables -exp F8,F9           # selected artifacts
+//	tables -format md           # markdown output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"consim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp      = flag.String("exp", "", "comma-separated artifact IDs (default: all of T2,F2..F13)")
+		scale    = flag.Int("scale", 1, "divide cache capacities and footprints")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		warm     = flag.Uint64("warm", 600_000, "warm-up references per core")
+		meas     = flag.Uint64("meas", 1_000_000, "measured references per core")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "simulations to run concurrently")
+		format   = flag.String("format", "text", "output format: text, md, csv, bars")
+	)
+	flag.Parse()
+
+	ids := consim.FigureIDs()
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	}
+
+	r := consim.NewRunner(consim.RunnerOptions{
+		Scale:       *scale,
+		Seed:        *seed,
+		WarmupRefs:  *warm,
+		MeasureRefs: *meas,
+		Parallel:    *parallel,
+	})
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		t, err := r.RunFigure(id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		switch *format {
+		case "md":
+			fmt.Println(t.Markdown())
+		case "csv":
+			fmt.Printf("# %s — %s\n%s\n", t.ID, t.Title, t.CSV())
+		case "bars":
+			fmt.Println(t.Bars(50))
+		default:
+			fmt.Println(t.Text())
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+// Capacity-planner: the paper's §V-D question as a what-if tool — given a
+// consolidation mix, how should the chip's 16MB of last-level cache be
+// carved up (private, shared-2/4/8-way, fully shared)?
+//
+// The planner sweeps the organizations under affinity scheduling, prints
+// each workload's slowdown and miss latency per organization, flags
+// fairness problems from the occupancy snapshot (a VM squeezed below half
+// its fair share), and recommends the organization with the best
+// worst-case slowdown.
+//
+//	go run ./examples/capacity-planner                # Mix 5 by default
+//	go run ./examples/capacity-planner -mix 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"consim"
+)
+
+func main() {
+	mixID := flag.String("mix", "5", "Table IV mix to plan for (1-9, A-D)")
+	scale := flag.Int("scale", 8, "simulation scale divisor")
+	flag.Parse()
+
+	mix, err := consim.MixByID(*mixID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LLC organization study for %s (%s), affinity scheduling\n\n", mix.ID, mix.Name())
+
+	r := consim.NewRunner(consim.RunnerOptions{
+		Scale:       *scale,
+		WarmupRefs:  150_000,
+		MeasureRefs: 300_000,
+	})
+
+	groupSizes := []int{1, 2, 4, 8, 16}
+	names := map[int]string{1: "private", 2: "shared-2", 4: "shared-4", 8: "shared-8", 16: "shared-16"}
+
+	bestGS, bestWorst := 0, 0.0
+	for _, gs := range groupSizes {
+		res, err := r.RunMix(mix, gs, consim.Affinity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", names[gs])
+		worst := 0.0
+		for _, v := range res.VMs {
+			base, err := r.IsolationBaseline(v.Class)
+			if err != nil {
+				log.Fatal(err)
+			}
+			slow := v.CyclesPerTx / base.CyclesPerTx
+			if slow > worst {
+				worst = slow
+			}
+			fmt.Printf("  vm%d %-8s slowdown %6.2fx  missLat %7.1f cy  missRate %.4f\n",
+				v.VM, v.Name, slow, v.AvgMissLatency(), v.MissRate())
+		}
+		// Fairness check from the occupancy snapshot: with G groups and
+		// 4 VMs, a VM's fair share of the total LLC is 1/4.
+		snap := res.Snapshot
+		total := make([]float64, len(res.VMs))
+		for g := range snap.Occupancy {
+			for v := range res.VMs {
+				total[v] += snap.OccupancyShare(g, v) / float64(len(snap.Occupancy))
+			}
+		}
+		for v, share := range total {
+			if share < 0.125 { // below half the fair 25%
+				fmt.Printf("  fairness: vm%d %s holds only %.1f%% of the LLC (fair share 25%%)\n",
+					v, res.VMs[v].Name, 100*share)
+			}
+		}
+		if bestGS == 0 || worst < bestWorst {
+			bestGS, bestWorst = gs, worst
+		}
+		fmt.Println()
+	}
+	fmt.Printf("recommendation: %s LLC (worst-case slowdown %.2fx)\n", names[bestGS], bestWorst)
+}

@@ -1,0 +1,78 @@
+// Performance-isolation: the paper's closing argument made executable —
+// "our results, showing that the behavior of one virtual machine may
+// affect the other, suggest that perhaps a guarantee of apparent workload
+// isolation ... should feasibly extend from functional isolation into
+// performance isolation."
+//
+// One SPECjbb VM shares every LLC bank with three TPC-W bookstores under
+// round-robin placement (the worst case the paper identifies in Mixes
+// 7-9). The study compares three LLC policies:
+//
+//   - free-for-all LRU (the paper's "status quo" and its fairness worry),
+//   - an equal way-partition (fair split),
+//   - a prioritized partition giving SPECjbb a 5x share (CQoS-style).
+//
+// It also reports the counterintuitive equal-split result this model
+// surfaces: LRU already favors reuse-heavy tenants, so a "fair" split can
+// take capacity *away* from the tenant it means to protect.
+//
+//	go run ./examples/performance-isolation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"consim"
+)
+
+func main() {
+	specs := consim.WorkloadSpecs()
+
+	run := func(partition bool, shares []int) consim.Result {
+		cfg := consim.DefaultConfig(
+			specs[consim.SPECjbb],
+			specs[consim.TPCW], specs[consim.TPCW], specs[consim.TPCW],
+		)
+		cfg.GroupSize = 4
+		cfg.Policy = consim.RoundRobin // every bank hosts all four VMs
+		cfg.Scale = 8
+		cfg.WarmupRefs = 150_000
+		cfg.MeasureRefs = 300_000
+		cfg.QoSPartition = partition
+		cfg.QoSShares = shares
+		res, err := consim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	report := func(label string, res consim.Result) {
+		jbb := res.VMs[0]
+		var tpcwRate float64
+		for _, v := range res.VMs[1:] {
+			tpcwRate += v.MissRate()
+		}
+		tpcwRate /= 3
+		occ := 0.0
+		for g := range res.Snapshot.Occupancy {
+			occ += res.Snapshot.OccupancyShare(g, 0)
+		}
+		occ /= float64(len(res.Snapshot.Occupancy))
+		fmt.Printf("%-22s jbb: missRate=%.4f missLat=%6.1f occ=%4.1f%%   tpcw missRate=%.4f\n",
+			label, jbb.MissRate(), jbb.AvgMissLatency(), 100*occ, tpcwRate)
+	}
+
+	fmt.Println("performance isolation: SPECjbb vs 3x TPC-W, round robin, shared-4-way")
+	report("free-for-all LRU", run(false, nil))
+	report("equal partition", run(true, nil))
+	report("jbb 5x priority", run(true, []int{5, 1, 1, 1}))
+
+	fmt.Println(`
+The prioritized partition is the performance-isolation guarantee the
+paper's conclusion asks for: SPECjbb's misses drop and its occupancy is
+protected regardless of the co-scheduled bookstores. Note the equal
+split: plain LRU already favors a reuse-heavy tenant, so "fair" way
+counts can reduce its capacity below what it wins naturally.`)
+}

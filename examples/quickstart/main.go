@@ -1,0 +1,61 @@
+// Quickstart: simulate one server-consolidation scenario and print the
+// per-VM metrics the paper's evaluation is built on.
+//
+// Two TPC-W bookstores and two SPECjbb middleware servers are
+// consolidated onto the 16-core machine with shared-4-way last-level
+// caches under affinity scheduling, then compared against SPECjbb running
+// alone.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"consim"
+)
+
+func main() {
+	specs := consim.WorkloadSpecs()
+
+	// A consolidated configuration: four VMs fill the machine.
+	cfg := consim.DefaultConfig(
+		specs[consim.TPCW], specs[consim.TPCW],
+		specs[consim.SPECjbb], specs[consim.SPECjbb],
+	)
+	cfg.GroupSize = 4            // four cores share each LLC bank
+	cfg.Policy = consim.Affinity // pack each VM's threads together
+	cfg.Scale = 8                // 1/8 scale keeps this demo fast
+	cfg.WarmupRefs = 150_000
+	cfg.MeasureRefs = 300_000
+
+	res, err := consim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("consolidated: %s LLC, %s scheduling\n", cfg.SharingName(), cfg.Policy)
+	fmt.Printf("%-4s %-8s %10s %10s %9s %7s\n", "vm", "workload", "cyc/tx", "missRate", "missLat", "c2c")
+	for _, v := range res.VMs {
+		fmt.Printf("%-4d %-8s %10.0f %10.4f %9.1f %7.3f\n",
+			v.VM, v.Name, v.CyclesPerTx, v.MissRate(), v.AvgMissLatency(), v.Stats.C2CFraction())
+	}
+
+	// The same SPECjbb isolated with the whole chip, for comparison.
+	iso := consim.DefaultConfig(specs[consim.SPECjbb])
+	iso.GroupSize = 16 // one fully shared 16MB cache
+	iso.Scale = cfg.Scale
+	iso.WarmupRefs = cfg.WarmupRefs
+	iso.MeasureRefs = cfg.MeasureRefs
+	isoRes, err := consim.Run(iso)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := isoRes.VMs[0]
+	mixed := res.VMs[2] // first SPECjbb instance in the mix
+	fmt.Printf("\nSPECjbb isolated:     %10.0f cycles/tx, miss rate %.4f\n", base.CyclesPerTx, base.MissRate())
+	fmt.Printf("SPECjbb consolidated: %10.0f cycles/tx, miss rate %.4f\n", mixed.CyclesPerTx, mixed.MissRate())
+	fmt.Printf("slowdown from sharing the chip with TPC-W: %.2fx\n", mixed.CyclesPerTx/base.CyclesPerTx)
+}

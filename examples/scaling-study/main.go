@@ -1,0 +1,87 @@
+// Scaling-study: the paper's §VII future-work question — do the 16-core
+// trends hold at higher degrees of consolidation?
+//
+// The same heterogeneous blend (alternating SPECjbb and TPC-H VMs) is
+// consolidated onto 16-, 32- and 64-core machines (4, 8 and 16 VMs,
+// machine always at capacity, shared-4-way LLC scaled with the core
+// count), and each workload's slowdown relative to its 16-core isolation
+// baseline is reported.
+//
+//	go run ./examples/scaling-study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"consim"
+)
+
+func main() {
+	specs := consim.WorkloadSpecs()
+
+	// 16-core isolation baselines (the paper's §V reference).
+	baseline := map[consim.WorkloadClass]float64{}
+	for _, class := range []consim.WorkloadClass{consim.SPECjbb, consim.TPCH} {
+		cfg := consim.DefaultConfig(specs[class])
+		cfg.GroupSize = 16
+		cfg.Scale = 16
+		cfg.WarmupRefs = 80_000
+		cfg.MeasureRefs = 160_000
+		res, err := consim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline[class] = res.VMs[0].CyclesPerTx
+	}
+
+	fmt.Println("consolidation scaling: alternating SPECjbb/TPC-H VMs, shared-4-way, affinity")
+	fmt.Printf("%8s %6s %14s %14s %12s %12s\n",
+		"cores", "VMs", "jbb slowdown", "tpch slowdown", "jbb missRt", "tpch missRt")
+
+	for _, cores := range []int{16, 32, 64} {
+		nVMs := cores / 4
+		var loads []consim.WorkloadSpec
+		for i := 0; i < nVMs; i++ {
+			if i%2 == 0 {
+				loads = append(loads, specs[consim.SPECjbb])
+			} else {
+				loads = append(loads, specs[consim.TPCH])
+			}
+		}
+		cfg := consim.DefaultConfig(loads...)
+		cfg.Cores = cores
+		cfg.GroupSize = 4
+		// Keep per-core LLC constant (1MB/core at paper scale) as the
+		// chip grows, matching how real products scale cache with cores.
+		cfg.LLCBytes = cores << 20
+		cfg.Scale = 16
+		cfg.WarmupRefs = 80_000
+		cfg.MeasureRefs = 160_000
+
+		res, err := consim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var jbbSlow, hSlow, jbbMiss, hMiss float64
+		var nj, nh int
+		for _, v := range res.VMs {
+			switch v.Class {
+			case consim.SPECjbb:
+				jbbSlow += v.CyclesPerTx / baseline[consim.SPECjbb]
+				jbbMiss += v.MissRate()
+				nj++
+			case consim.TPCH:
+				hSlow += v.CyclesPerTx / baseline[consim.TPCH]
+				hMiss += v.MissRate()
+				nh++
+			}
+		}
+		fmt.Printf("%8d %6d %14.2f %14.2f %12.4f %12.4f\n",
+			cores, nVMs,
+			jbbSlow/float64(nj), hSlow/float64(nh),
+			jbbMiss/float64(nj), hMiss/float64(nh))
+	}
+	fmt.Println("\nslowdowns are relative to the workload isolated on the 16-core chip;")
+	fmt.Println("directory, mesh and memory-controller pressure grow with the machine.")
+}

@@ -1,0 +1,3 @@
+module consim
+
+go 1.22

@@ -1,0 +1,39 @@
+package cache
+
+import (
+	"testing"
+
+	"consim/internal/sim"
+)
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(Config{SizeBytes: 1 << 20, Assoc: 16})
+	for i := 0; i < 1024; i++ {
+		c.Insert(sim.Addr(i*64), Shared, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(sim.Addr((i % 1024) * 64))
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	c := New(Config{SizeBytes: 1 << 20, Assoc: 16})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(sim.Addr(uint64(i)*64 + 1<<30))
+	}
+}
+
+func BenchmarkInsertEvict(b *testing.B) {
+	c := New(Config{SizeBytes: 64 << 10, Assoc: 8})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Probe(sim.Addr(i * 64)); !ok {
+			c.Insert(sim.Addr(i*64), Shared, 0)
+		}
+	}
+}

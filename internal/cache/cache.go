@@ -1,0 +1,290 @@
+// Package cache implements the set-associative cache arrays used at every
+// level of the simulated hierarchy (L0, L1 and the last-level cache
+// banks). The arrays are timing-free: they record *content* (which lines
+// are resident, their coherence state, and which virtual machine brought
+// them in); all latency accounting lives in the system model that drives
+// them.
+package cache
+
+import (
+	"fmt"
+
+	"consim/internal/sim"
+)
+
+// State is the coherence state of a resident line. The protocol package
+// drives transitions; the cache only stores the value.
+type State uint8
+
+const (
+	// Invalid lines are not resident (only appears transiently).
+	Invalid State = iota
+	// Shared lines are clean and may be resident in other caches.
+	Shared
+	// Exclusive lines are clean and resident only here.
+	Exclusive
+	// Modified lines are dirty and resident only here.
+	Modified
+	// Owned lines are dirty but may have Shared copies elsewhere; the
+	// owner supplies data on remote misses (SGI-Origin-style dirty
+	// sharing).
+	Owned
+)
+
+// String returns the canonical one-letter protocol name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case Owned:
+		return "O"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Dirty reports whether a line in state s holds data newer than memory.
+func (s State) Dirty() bool { return s == Modified || s == Owned }
+
+// Line is one resident cache line.
+type Line struct {
+	Tag   sim.Addr // full line address (not a partial tag; simplicity over space)
+	State State
+	VM    uint8 // virtual machine that inserted the line (occupancy accounting)
+	used  uint64
+	valid bool
+}
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes int
+	Assoc     int
+	Latency   sim.Cycle
+}
+
+// Validate reports whether the geometry is realizable.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: non-positive size or associativity (%d bytes, %d-way)", c.SizeBytes, c.Assoc)
+	}
+	lines := c.SizeBytes / sim.LineBytes
+	if lines*sim.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache: size %dB not a multiple of the %dB line", c.SizeBytes, sim.LineBytes)
+	}
+	if lines%c.Assoc != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by associativity %d", lines, c.Assoc)
+	}
+	sets := lines / c.Assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Cache is a set-associative, LRU-replacement cache array.
+type Cache struct {
+	cfg     Config
+	sets    []set
+	setMask uint64
+	tick    uint64 // global LRU clock
+	quota   []int  // per-VM way quotas (nil = unpartitioned)
+
+	// Stats are plain counters; the driving model reads them directly.
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+type set struct {
+	ways []Line
+}
+
+// New builds a cache from cfg. It panics on an invalid configuration:
+// configurations are produced by this module's own experiment code, so a
+// bad one is a programming error, not an input error.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nLines := cfg.SizeBytes / sim.LineBytes
+	nSets := nLines / cfg.Assoc
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([]set, nSets),
+		setMask: uint64(nSets - 1),
+	}
+	ways := make([]Line, nLines)
+	for i := range c.sets {
+		c.sets[i].ways = ways[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c
+}
+
+// Config returns the geometry the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Latency returns the access latency of this array.
+func (c *Cache) Latency() sim.Cycle { return c.cfg.Latency }
+
+// Lines returns the total line capacity.
+func (c *Cache) Lines() int { return len(c.sets) * c.cfg.Assoc }
+
+func (c *Cache) setIndex(line sim.Addr) uint64 {
+	return (uint64(line) >> sim.LineShift) & c.setMask
+}
+
+// Lookup probes for the line containing addr. On a hit it refreshes LRU
+// state and returns the resident line. It does not allocate on miss.
+func (c *Cache) Lookup(addr sim.Addr) (*Line, bool) {
+	line := sim.LineAddr(addr)
+	c.Accesses++
+	s := &c.sets[c.setIndex(line)]
+	for i := range s.ways {
+		w := &s.ways[i]
+		if w.valid && w.Tag == line {
+			c.tick++
+			w.used = c.tick
+			c.Hits++
+			return w, true
+		}
+	}
+	c.Misses++
+	return nil, false
+}
+
+// Probe checks residency without touching LRU state or stats. Used by the
+// coherence layer for remote snoops and by snapshot accounting.
+func (c *Cache) Probe(addr sim.Addr) (*Line, bool) {
+	line := sim.LineAddr(addr)
+	s := &c.sets[c.setIndex(line)]
+	for i := range s.ways {
+		w := &s.ways[i]
+		if w.valid && w.Tag == line {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// Insert allocates the line containing addr in state st on behalf of vm,
+// evicting the LRU way of the set if needed. It returns the displaced
+// line (evicted reports whether there was one) and a pointer to the newly
+// inserted line. Inserting a line that is already resident is a
+// programming error in the protocol driver and panics.
+func (c *Cache) Insert(addr sim.Addr, st State, vm uint8) (victim Line, evicted bool, line *Line) {
+	la := sim.LineAddr(addr)
+	s := &c.sets[c.setIndex(la)]
+	var lru *Line
+	for i := range s.ways {
+		w := &s.ways[i]
+		if !w.valid {
+			lru = w
+			break
+		}
+		if w.Tag == la {
+			panic(fmt.Sprintf("cache: double insert of line %#x", la))
+		}
+		if lru == nil || w.used < lru.used {
+			lru = w
+		}
+	}
+	if c.quota != nil && lru != nil && lru.valid {
+		if pv := c.partitionVictim(s, vm); pv != nil {
+			lru = pv
+		} else {
+			// An invalid way exists; find it.
+			for i := range s.ways {
+				if !s.ways[i].valid {
+					lru = &s.ways[i]
+					break
+				}
+			}
+		}
+	}
+	if lru.valid {
+		victim = *lru
+		evicted = true
+		c.Evictions++
+	}
+	c.tick++
+	*lru = Line{Tag: la, State: st, VM: vm, used: c.tick, valid: true}
+	return victim, evicted, lru
+}
+
+// Invalidate removes the line containing addr if resident and returns the
+// removed copy. Used for coherence invalidations and inclusive
+// back-invalidation.
+func (c *Cache) Invalidate(addr sim.Addr) (Line, bool) {
+	la := sim.LineAddr(addr)
+	s := &c.sets[c.setIndex(la)]
+	for i := range s.ways {
+		w := &s.ways[i]
+		if w.valid && w.Tag == la {
+			old := *w
+			*w = Line{}
+			return old, true
+		}
+	}
+	return Line{}, false
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// ResetStats zeroes the counters without disturbing contents; used when a
+// warm-up phase ends and measurement begins.
+func (c *Cache) ResetStats() {
+	c.Accesses, c.Hits, c.Misses, c.Evictions = 0, 0, 0, 0
+}
+
+// OccupancyByVM counts resident lines per VM ID (index = VM). The slice
+// is sized to maxVM+1 entries.
+func (c *Cache) OccupancyByVM(maxVM int) []int {
+	occ := make([]int, maxVM+1)
+	for si := range c.sets {
+		for wi := range c.sets[si].ways {
+			w := &c.sets[si].ways[wi]
+			if w.valid && int(w.VM) <= maxVM {
+				occ[w.VM]++
+			}
+		}
+	}
+	return occ
+}
+
+// Resident returns the number of valid lines.
+func (c *Cache) Resident() int {
+	n := 0
+	for si := range c.sets {
+		for wi := range c.sets[si].ways {
+			if c.sets[si].ways[wi].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ForEach visits every resident line. The callback must not insert or
+// invalidate lines.
+func (c *Cache) ForEach(fn func(*Line)) {
+	for si := range c.sets {
+		for wi := range c.sets[si].ways {
+			w := &c.sets[si].ways[wi]
+			if w.valid {
+				fn(w)
+			}
+		}
+	}
+}

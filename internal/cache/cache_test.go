@@ -1,0 +1,258 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"consim/internal/sim"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways of 64B lines = 512B.
+	return New(Config{SizeBytes: 512, Assoc: 2, Latency: 3})
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{SizeBytes: 512, Assoc: 2}, true},
+		{Config{SizeBytes: 0, Assoc: 2}, false},
+		{Config{SizeBytes: 512, Assoc: 0}, false},
+		{Config{SizeBytes: 100, Assoc: 2}, false},    // not line multiple
+		{Config{SizeBytes: 64 * 6, Assoc: 2}, false}, // 3 sets, not pow2
+		{Config{SizeBytes: 64 * 6, Assoc: 3}, true},  // 2 sets
+		{Config{SizeBytes: 64, Assoc: 1}, true},
+	}
+	for i, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with bad config did not panic")
+		}
+	}()
+	New(Config{SizeBytes: 100, Assoc: 3})
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := small()
+	if _, ok := c.Lookup(0x1000); ok {
+		t.Fatal("hit in empty cache")
+	}
+	c.Insert(0x1000, Shared, 1)
+	ln, ok := c.Lookup(0x1000)
+	if !ok {
+		t.Fatal("miss after insert")
+	}
+	if ln.State != Shared || ln.VM != 1 {
+		t.Errorf("line = %+v", *ln)
+	}
+	if c.Accesses != 2 || c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("stats = %d/%d/%d", c.Accesses, c.Hits, c.Misses)
+	}
+}
+
+func TestLookupSameLineDifferentOffsets(t *testing.T) {
+	c := small()
+	c.Insert(0x1000, Exclusive, 0)
+	if _, ok := c.Lookup(0x103f); !ok {
+		t.Error("offset within line missed")
+	}
+	if _, ok := c.Lookup(0x1040); ok {
+		t.Error("next line hit spuriously")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 2 ways per set
+	// Three lines in the same set (set stride = 4 sets * 64B = 256B).
+	a, b, d := sim.Addr(0x0000), sim.Addr(0x0100), sim.Addr(0x0200)
+	c.Insert(a, Shared, 0)
+	c.Insert(b, Shared, 0)
+	c.Lookup(a) // refresh a: b is now LRU
+	victim, evicted, _ := c.Insert(d, Shared, 0)
+	if !evicted || victim.Tag != b {
+		t.Fatalf("evicted %v (%#x), want %#x", evicted, victim.Tag, b)
+	}
+	if _, ok := c.Probe(a); !ok {
+		t.Error("recently used line evicted")
+	}
+}
+
+func TestInsertDoubleInsertPanics(t *testing.T) {
+	c := small()
+	c.Insert(0x40, Shared, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double insert did not panic")
+		}
+	}()
+	c.Insert(0x40, Shared, 0)
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Insert(0x80, Modified, 2)
+	old, ok := c.Invalidate(0x80)
+	if !ok || old.State != Modified || old.VM != 2 {
+		t.Fatalf("Invalidate = %+v, %v", old, ok)
+	}
+	if _, ok := c.Probe(0x80); ok {
+		t.Error("line still resident after invalidate")
+	}
+	if _, ok := c.Invalidate(0x80); ok {
+		t.Error("second invalidate reported a line")
+	}
+}
+
+func TestProbeDoesNotTouchStats(t *testing.T) {
+	c := small()
+	c.Insert(0xc0, Shared, 0)
+	before := c.Accesses
+	c.Probe(0xc0)
+	c.Probe(0xdead)
+	if c.Accesses != before {
+		t.Error("Probe counted as access")
+	}
+}
+
+func TestOccupancyByVM(t *testing.T) {
+	c := New(Config{SizeBytes: 64 * 16, Assoc: 4})
+	for i := 0; i < 6; i++ {
+		c.Insert(sim.Addr(i*64), Shared, uint8(i%2))
+	}
+	occ := c.OccupancyByVM(1)
+	if occ[0] != 3 || occ[1] != 3 {
+		t.Errorf("occupancy = %v", occ)
+	}
+	if c.Resident() != 6 {
+		t.Errorf("Resident = %d", c.Resident())
+	}
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	c := New(Config{SizeBytes: 64 * 16, Assoc: 4})
+	want := map[sim.Addr]bool{}
+	for i := 0; i < 5; i++ {
+		a := sim.Addr(i * 64)
+		c.Insert(a, Shared, 0)
+		want[a] = true
+	}
+	got := map[sim.Addr]bool{}
+	c.ForEach(func(l *Line) { got[l.Tag] = true })
+	if len(got) != len(want) {
+		t.Errorf("ForEach visited %d, want %d", len(got), len(want))
+	}
+}
+
+func TestMissRateAndReset(t *testing.T) {
+	c := small()
+	c.Lookup(0) // miss
+	c.Insert(0, Shared, 0)
+	c.Lookup(0) // hit
+	if mr := c.MissRate(); mr != 0.5 {
+		t.Errorf("MissRate = %v", mr)
+	}
+	c.ResetStats()
+	if c.Accesses != 0 || c.MissRate() != 0 {
+		t.Error("ResetStats incomplete")
+	}
+	if _, ok := c.Probe(0); !ok {
+		t.Error("ResetStats dropped contents")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M", Owned: "O"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	if !Modified.Dirty() || !Owned.Dirty() || Shared.Dirty() || Exclusive.Dirty() {
+		t.Error("Dirty() classification wrong")
+	}
+}
+
+// TestAgainstReferenceModel drives the cache and a brute-force reference
+// (map + LRU timestamps) with random operations and checks that residency
+// always agrees.
+func TestAgainstReferenceModel(t *testing.T) {
+	type ref struct {
+		used uint64
+		vm   uint8
+	}
+	f := func(ops []uint16, seed uint64) bool {
+		c := New(Config{SizeBytes: 64 * 32, Assoc: 4}) // 8 sets
+		model := map[sim.Addr]ref{}
+		tick := uint64(0)
+		setOf := func(a sim.Addr) uint64 { return (uint64(a) >> 6) & 7 }
+		for _, op := range ops {
+			tick++
+			addr := sim.Addr(op%256) * 64
+			switch op % 3 {
+			case 0: // lookup
+				_, chit := c.Lookup(addr)
+				_, mhit := model[addr]
+				if chit != mhit {
+					return false
+				}
+				if chit {
+					m := model[addr]
+					m.used = tick
+					model[addr] = m
+				}
+			case 1: // insert if absent
+				if _, ok := model[addr]; ok {
+					continue
+				}
+				// Evict model's LRU of the set if full.
+				n := 0
+				var lruA sim.Addr
+				var lruT uint64 = ^uint64(0)
+				for a, m := range model {
+					if setOf(a) != setOf(addr) {
+						continue
+					}
+					n++
+					if m.used < lruT {
+						lruT, lruA = m.used, a
+					}
+				}
+				if n == 4 {
+					delete(model, lruA)
+				}
+				c.Insert(addr, Shared, 0)
+				model[addr] = ref{used: tick}
+			case 2: // invalidate
+				_, chad := c.Invalidate(addr)
+				_, mhad := model[addr]
+				if chad != mhad {
+					return false
+				}
+				delete(model, addr)
+			}
+		}
+		// Final residency must agree exactly.
+		if c.Resident() != len(model) {
+			return false
+		}
+		for a := range model {
+			if _, ok := c.Probe(a); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

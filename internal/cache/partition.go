@@ -1,0 +1,79 @@
+package cache
+
+// Way partitioning implements the cache-QoS mechanism of the paper's
+// related work (§VI: Kim/Suh fair sharing, Iyer CQoS) and its conclusion
+// that consolidation "should feasibly extend from functional isolation
+// into performance isolation": each VM is limited to a quota of ways per
+// set, so one workload cannot evict a co-runner's entire allocation.
+//
+// Victim selection under a partition:
+//
+//  1. if the inserting VM holds at least its quota of ways in the set,
+//     evict the VM's own LRU line (it lives within its allocation);
+//  2. otherwise evict the LRU line of any VM holding more than its quota
+//     (reclaiming over-occupancy);
+//  3. otherwise fall back to global LRU (free or unclaimed capacity).
+
+// SetPartition installs per-VM way quotas; quota[vm] is the maximum ways
+// per set for that VM ID. A nil slice removes the partition; VMs beyond
+// the slice are unconstrained. Quotas below 1 are treated as 1.
+func (c *Cache) SetPartition(quota []int) {
+	if quota == nil {
+		c.quota = nil
+		return
+	}
+	q := make([]int, len(quota))
+	for i, v := range quota {
+		if v < 1 {
+			v = 1
+		}
+		q[i] = v
+	}
+	c.quota = q
+}
+
+// Partitioned reports whether a way partition is active.
+func (c *Cache) Partitioned() bool { return c.quota != nil }
+
+// quotaOf returns vm's way quota, or the full associativity when
+// unconstrained.
+func (c *Cache) quotaOf(vm uint8) int {
+	if c.quota == nil || int(vm) >= len(c.quota) {
+		return c.cfg.Assoc
+	}
+	return c.quota[vm]
+}
+
+// partitionVictim picks the way to evict in set s for an insertion by vm,
+// honoring quotas. It returns nil if an invalid way exists (no eviction
+// needed).
+func (c *Cache) partitionVictim(s *set, vm uint8) *Line {
+	var counts [256]int
+	var lruOwn, lruOver, lruAny *Line
+	for i := range s.ways {
+		w := &s.ways[i]
+		if !w.valid {
+			return nil
+		}
+		counts[w.VM]++
+		if lruAny == nil || w.used < lruAny.used {
+			lruAny = w
+		}
+	}
+	for i := range s.ways {
+		w := &s.ways[i]
+		if w.VM == vm && (lruOwn == nil || w.used < lruOwn.used) {
+			lruOwn = w
+		}
+		if counts[w.VM] > c.quotaOf(w.VM) && (lruOver == nil || w.used < lruOver.used) {
+			lruOver = w
+		}
+	}
+	if lruOwn != nil && counts[vm] >= c.quotaOf(vm) {
+		return lruOwn
+	}
+	if lruOver != nil {
+		return lruOver
+	}
+	return lruAny
+}

@@ -1,0 +1,110 @@
+package cache
+
+import (
+	"testing"
+
+	"consim/internal/sim"
+)
+
+// part builds a 1-set, 4-way cache partitioned 2/2 between VMs 0 and 1.
+func part(t *testing.T) *Cache {
+	t.Helper()
+	c := New(Config{SizeBytes: 64 * 4, Assoc: 4})
+	c.SetPartition([]int{2, 2})
+	return c
+}
+
+func TestPartitionEvictsOwnLRUAtQuota(t *testing.T) {
+	c := part(t)
+	c.Insert(0*64, Shared, 0)
+	c.Insert(1*64, Shared, 0) // vm0 at quota
+	c.Insert(2*64, Shared, 1)
+	c.Insert(3*64, Shared, 1) // vm1 at quota
+	// vm0 inserting again must evict vm0's LRU (block 0), not vm1's.
+	victim, evicted, _ := c.Insert(4*64, Shared, 0)
+	if !evicted || victim.VM != 0 || victim.Tag != 0 {
+		t.Fatalf("victim = %+v (evicted=%v), want vm0 block 0", victim, evicted)
+	}
+	occ := c.OccupancyByVM(1)
+	if occ[0] != 2 || occ[1] != 2 {
+		t.Errorf("occupancy after partitioned eviction = %v", occ)
+	}
+}
+
+func TestPartitionReclaimsOverQuota(t *testing.T) {
+	c := New(Config{SizeBytes: 64 * 4, Assoc: 4})
+	// Fill entirely with vm0 while unpartitioned.
+	for i := 0; i < 4; i++ {
+		c.Insert(sim.Addr(i*64), Shared, 0)
+	}
+	c.SetPartition([]int{2, 2})
+	// vm1 under quota inserting must reclaim from the over-quota vm0.
+	victim, evicted, _ := c.Insert(4*64, Shared, 1)
+	if !evicted || victim.VM != 0 {
+		t.Fatalf("victim = %+v, want a vm0 line", victim)
+	}
+}
+
+func TestPartitionFillsInvalidWaysFirst(t *testing.T) {
+	c := part(t)
+	c.Insert(0*64, Shared, 0)
+	_, evicted, _ := c.Insert(1*64, Shared, 1)
+	if evicted {
+		t.Fatal("evicted despite free ways")
+	}
+}
+
+func TestPartitionUnlistedVMUnconstrained(t *testing.T) {
+	c := New(Config{SizeBytes: 64 * 4, Assoc: 4})
+	c.SetPartition([]int{1}) // only vm0 constrained
+	for i := 0; i < 4; i++ {
+		c.Insert(sim.Addr(i*64), Shared, 3) // vm3 may take everything
+	}
+	if c.Resident() != 4 {
+		t.Errorf("vm3 held to a phantom quota: %d resident", c.Resident())
+	}
+	// vm0 may only displace one way at a time from its own allocation
+	// once it reaches quota 1.
+	c.Insert(4*64, Shared, 0)            // reclaims an over-quota vm3 line
+	v, _, _ := c.Insert(5*64, Shared, 0) // now at quota: evicts own
+	if v.VM != 0 {
+		t.Errorf("vm0 evicted vm%d's line beyond its quota", v.VM)
+	}
+}
+
+func TestPartitionRemoval(t *testing.T) {
+	c := part(t)
+	if !c.Partitioned() {
+		t.Fatal("partition not active")
+	}
+	c.SetPartition(nil)
+	if c.Partitioned() {
+		t.Fatal("partition still active after removal")
+	}
+	// Back to global LRU.
+	for i := 0; i < 5; i++ {
+		if _, ok := c.Probe(sim.Addr(i * 64)); !ok {
+			c.Insert(sim.Addr(i*64), Shared, uint8(i%2))
+		}
+	}
+}
+
+func TestPartitionQuotaFloor(t *testing.T) {
+	// Zero quotas clamp to one way. The partition is work-conserving:
+	// free ways are usable by anyone, but once the set fills, an
+	// at-quota VM recycles its own allocation.
+	c := New(Config{SizeBytes: 64 * 4, Assoc: 4})
+	c.SetPartition([]int{0, 0})
+	for i := 0; i < 4; i++ {
+		c.Insert(sim.Addr(i*64), Shared, 0) // over-occupies free ways
+	}
+	victim, evicted, _ := c.Insert(4*64, Shared, 0)
+	if !evicted || victim.VM != 0 {
+		t.Fatalf("quota floor broken: %+v %v", victim, evicted)
+	}
+	// vm1 reclaims from the over-quota vm0 down to its own guarantee.
+	victim, evicted, _ = c.Insert(5*64, Shared, 1)
+	if !evicted || victim.VM != 0 {
+		t.Fatalf("reclaim failed: %+v %v", victim, evicted)
+	}
+}

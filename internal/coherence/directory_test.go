@@ -1,0 +1,209 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"consim/internal/sim"
+)
+
+func TestEntryL1Ops(t *testing.T) {
+	e := NewEntry()
+	if e.OnChip() || e.Dirty() {
+		t.Fatal("fresh entry not empty")
+	}
+	e.AddL1(3)
+	e.AddL1(7)
+	if !e.HasL1(3) || !e.HasL1(7) || e.HasL1(2) {
+		t.Fatal("sharer bits wrong")
+	}
+	if e.L1Count() != 2 {
+		t.Fatalf("L1Count = %d", e.L1Count())
+	}
+	e.L1Owner = 3
+	if !e.Dirty() {
+		t.Error("owner not dirty")
+	}
+	e.DropL1(3)
+	if e.HasL1(3) || e.L1Owner != -1 {
+		t.Error("DropL1 did not clear ownership")
+	}
+	if e.OtherL1(7) != -1 {
+		t.Errorf("OtherL1 = %d", e.OtherL1(7))
+	}
+	e.AddL1(1)
+	if e.OtherL1(7) != 1 {
+		t.Errorf("OtherL1 = %d", e.OtherL1(7))
+	}
+}
+
+func TestEntryL2Ops(t *testing.T) {
+	e := NewEntry()
+	e.AddL2(0)
+	e.AddL2(2)
+	if e.L2Count() != 2 || !e.HasL2(0) || !e.HasL2(2) {
+		t.Fatal("bank bits wrong")
+	}
+	if o := e.OtherL2(0); o != 2 {
+		t.Errorf("OtherL2(0) = %d", o)
+	}
+	e.L2Owner = 2
+	e.DropL2(2)
+	if e.L2Owner != -1 || e.HasL2(2) {
+		t.Error("DropL2 did not clear ownership")
+	}
+}
+
+func TestDirectoryHomeStriping(t *testing.T) {
+	d := NewDirectory(16)
+	// Consecutive lines stripe across consecutive homes.
+	for i := 0; i < 64; i++ {
+		addr := sim.Addr(i * 64)
+		if d.Home(addr) != i%16 {
+			t.Fatalf("Home(%#x) = %d", addr, d.Home(addr))
+		}
+	}
+	// Addresses within a line share a home.
+	if d.Home(0x40) != d.Home(0x7f) {
+		t.Error("home differs within one line")
+	}
+}
+
+func TestDirectoryGetProbeRelease(t *testing.T) {
+	d := NewDirectory(4)
+	if _, ok := d.Probe(0x100); ok {
+		t.Fatal("probe hit in empty directory")
+	}
+	e := d.Get(0x100)
+	e.AddL2(1)
+	if e2, ok := d.Probe(0x100); !ok || e2 != e {
+		t.Fatal("Probe did not return the same entry")
+	}
+	d.Release(0x100)
+	if _, ok := d.Probe(0x100); !ok {
+		t.Fatal("Release dropped a line still on chip")
+	}
+	e.DropL2(1)
+	d.Release(0x100)
+	if _, ok := d.Probe(0x100); ok {
+		t.Fatal("Release kept an off-chip line")
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestDirectoryReplicationSnapshot(t *testing.T) {
+	d := NewDirectory(4)
+	d.Get(0x000).AddL2(0)
+	e := d.Get(0x040)
+	e.AddL2(0)
+	e.AddL2(1)
+	e = d.Get(0x080)
+	e.AddL2(1)
+	e.AddL2(2)
+	e.AddL2(3)
+	d.Get(0x0c0).AddL1(5) // L1-only: not LLC-resident
+	res, repl := d.ReplicationSnapshot()
+	if res != 3 || repl != 2 {
+		t.Errorf("snapshot = %d resident, %d replicated", res, repl)
+	}
+}
+
+func TestDirectoryInvariants(t *testing.T) {
+	d := NewDirectory(4)
+	e := d.Get(0x40)
+	e.AddL1(2)
+	e.L1Owner = 2
+	e.AddL2(0)
+	e.L2Owner = 0
+	if err := d.CheckInvariants(); err != nil {
+		t.Errorf("valid state flagged: %v", err)
+	}
+	e.L1Owner = 5 // not a sharer
+	if err := d.CheckInvariants(); err == nil {
+		t.Error("owner-not-sharer accepted")
+	}
+	e.L1Owner = -1
+	e.L2Owner = 3 // not a bank sharer
+	if err := d.CheckInvariants(); err == nil {
+		t.Error("bank-owner-not-sharer accepted")
+	}
+}
+
+func TestDirectoryPanicsOnBadNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDirectory(0) did not panic")
+		}
+	}()
+	NewDirectory(0)
+}
+
+func TestDirCacheHitMiss(t *testing.T) {
+	dc := NewDirCache(2, DirCacheConfig{Entries: 16, Assoc: 4})
+	if dc.Access(0, 0x40) {
+		t.Fatal("first access hit")
+	}
+	if !dc.Access(0, 0x40) {
+		t.Fatal("second access missed")
+	}
+	// Node isolation: node 1 has its own cache.
+	if dc.Access(1, 0x40) {
+		t.Fatal("other node's cache shared state")
+	}
+	if hr := dc.HitRate(); hr != 1.0/3 {
+		t.Errorf("hit rate = %v", hr)
+	}
+}
+
+func TestDirCacheCapacityEviction(t *testing.T) {
+	dc := NewDirCache(1, DirCacheConfig{Entries: 16, Assoc: 4})
+	// Fill far past capacity, then re-access the first address: it must
+	// have been evicted (a miss).
+	for i := 0; i < 64; i++ {
+		dc.Access(0, sim.Addr(i*64))
+	}
+	if dc.Access(0, 0) {
+		t.Error("entry survived 4x capacity pressure")
+	}
+}
+
+func TestDirCachePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config did not panic")
+		}
+	}()
+	NewDirCache(1, DirCacheConfig{})
+}
+
+// TestDirectoryRandomOps drives entry mutations randomly and checks the
+// mask/owner invariants hold throughout.
+func TestDirectoryRandomOps(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := NewDirectory(16)
+		for _, op := range ops {
+			addr := sim.Addr(op%64) * 64
+			e := d.Get(addr)
+			switch op % 5 {
+			case 0:
+				e.AddL1(int(op>>4) % 16)
+			case 1:
+				e.AddL2(int(op>>4) % 16)
+			case 2:
+				c := int(op>>4) % 16
+				e.AddL1(c)
+				e.L1Owner = int8(c)
+			case 3:
+				e.DropL1(int(op>>4) % 16)
+			case 4:
+				e.DropL2(int(op>>4) % 16)
+			}
+		}
+		return d.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+
+	"consim/internal/cache"
+	"consim/internal/coherence"
+	"consim/internal/sim"
+	"consim/internal/vm"
+)
+
+// This file implements the memory-access walk: L0 -> L1 -> LLC bank ->
+// directory home -> {remote cache | memory}, with SGI-Origin-style
+// three-hop forwarding for cache-to-cache transfers and invalidation on
+// writes. Every latency is accumulated on the mesh model (reserving link
+// time), the bank/directory occupancy trackers and the memory
+// controllers, so contention emerges from the traffic itself.
+
+// route advances a message of the given flit count across the mesh and
+// returns its arrival time.
+func (s *System) route(at sim.Cycle, from, to, flits int) sim.Cycle {
+	if from == to {
+		return at
+	}
+	return s.net.Latency(at, from, to, flits)
+}
+
+// bankAccess reserves the LLC slice at node and returns data-ready time.
+func (s *System) bankAccess(at sim.Cycle, node int) sim.Cycle {
+	start := sim.Max(at, s.bankBusy[node])
+	s.bankBusy[node] = start + bankOccupancy
+	return start + DefaultLLCLatency
+}
+
+// dirVisit reserves the directory slice at home and returns the
+// completion time of the on-chip lookup plus whether the entry was in the
+// home's directory cache. On a miss the authoritative state must come
+// from DRAM — but that fetch only delays the requester when the *data*
+// is supplied on chip; a memory-sourced miss reads the directory state
+// and the line in the same DRAM access (SGI-Origin keeps them together),
+// so callers charge the penalty per supplier.
+func (s *System) dirVisit(at sim.Cycle, home int, addr sim.Addr) (sim.Cycle, bool) {
+	start := sim.Max(at, s.dirBusy[home])
+	s.dirBusy[home] = start + dirOccupancy
+	return start + dirLatency, s.dirCache.Access(home, addr)
+}
+
+// access performs one reference by core c on behalf of vmID and returns
+// its total latency.
+func (s *System) access(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
+	st := &s.vms[vmID].Stats
+	vtag := uint8(vmID)
+	now := s.now
+
+	l0 := s.l0[c]
+	l0Line, l0Hit := l0.Lookup(addr)
+	var l1Line *cache.Line
+	var l1Hit bool
+	if l0Hit {
+		// Inclusion: an L0-resident line is always in L1; Probe avoids
+		// charging an L1 access the hardware would not make.
+		l1Line, l1Hit = s.l1[c].Probe(addr)
+		if !l1Hit {
+			panic(fmt.Sprintf("core: L0/L1 inclusion violated at %#x", addr))
+		}
+	} else {
+		l1Line, l1Hit = s.l1[c].Lookup(addr)
+	}
+
+	hitLat := DefaultL1Latency
+	if l0Hit {
+		hitLat = DefaultL0Latency
+	}
+
+	if l1Hit {
+		switch {
+		case !write:
+			if !l0Hit {
+				s.fillL0(c, addr, l1Line.State, vtag)
+			}
+			return hitLat
+		case l1Line.State == cache.Modified:
+			if l0Hit {
+				l0Line.State = cache.Modified
+			} else {
+				s.fillL0(c, addr, cache.Modified, vtag)
+			}
+			return hitLat
+		case l1Line.State == cache.Exclusive:
+			// Silent E->M upgrade; record dirty ownership.
+			l1Line.State = cache.Modified
+			e := s.dir.Get(addr)
+			e.L1Owner = int8(c)
+			e.L2Owner = int8(s.groupOf(c))
+			if bl, ok := s.banks[s.groupOf(c)].Probe(addr); ok {
+				bl.State = cache.Modified
+			}
+			if l0Hit {
+				l0Line.State = cache.Modified
+			} else {
+				s.fillL0(c, addr, cache.Modified, vtag)
+			}
+			return hitLat
+		default:
+			// Shared: coherence upgrade through the home node.
+			st.Upgrades++
+			done := s.invalidateOthers(now, c, addr, st)
+			e := s.dir.Get(addr)
+			e.L1Owner = int8(c)
+			e.L2Owner = int8(s.groupOf(c))
+			l1Line.State = cache.Modified
+			if bl, ok := s.banks[s.groupOf(c)].Probe(addr); ok {
+				bl.State = cache.Modified
+			}
+			if l0Hit {
+				l0Line.State = cache.Modified
+			} else {
+				s.fillL0(c, addr, cache.Modified, vtag)
+			}
+			return done - now
+		}
+	}
+
+	// Miss in the last level of private cache: the paper's miss-latency
+	// metric starts here.
+	st.PrivMisses++
+	done := s.fetch(c, vmID, addr, write)
+	st.MissLatSum += done - now
+	return done - now
+}
+
+// fetch services a private-level miss: probe the core's LLC bank group,
+// then the directory, then a remote cache or memory; fill the private
+// hierarchy on the way back. Returns the completion time.
+func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
+	st := &s.vms[vmID].Stats
+	vtag := uint8(vmID)
+	g := s.groupOf(c)
+	bank := s.banks[g]
+	bnode := s.bankNode(g, addr)
+
+	// A core's access to its own group's LLC costs the flat Table III
+	// latency (plus slice occupancy) at every sharing degree — the
+	// paper's machine does not charge NUCA distance within a group. The
+	// mesh carries directory, cache-to-cache, invalidation and memory
+	// traffic.
+	t := s.bankAccess(s.now, bnode)
+	bLine, bHit := bank.Lookup(addr)
+	e := s.dir.Get(addr)
+
+	if bHit {
+		if !e.HasL2(g) {
+			panic(fmt.Sprintf("core: bank %d holds %#x but directory disagrees", g, addr))
+		}
+		if o := int(e.L1Owner); o >= 0 && o != c {
+			// A sibling's L1 holds the line dirty (the write path
+			// invalidates all other groups, so the owner is in-group).
+			// Bank forwards; the owner supplies and downgrades.
+			at := s.route(t, bnode, o, CtrlFlits)
+			at += DefaultL1Latency
+			s.downgradeOwner(o, addr)
+			t = s.route(at, o, c, DataFlits)
+			st.C2CDirty++
+		}
+	} else {
+		// LLC miss for this VM.
+		st.LLCMisses++
+		home := s.dir.Home(addr)
+		dirT := s.route(t, bnode, home, CtrlFlits)
+		dirT, dirHit := s.dirVisit(dirT, home, addr)
+		// On-chip suppliers stall behind an uncached directory entry's
+		// DRAM fetch; the memory path reads state and data together.
+		onChipDirT := dirT
+		if !dirHit {
+			onChipDirT += s.cfg.Mem.Latency
+		}
+
+		switch {
+		case e.L1Owner >= 0:
+			// Dirty in a remote core's private cache; forward to owner.
+			o := int(e.L1Owner)
+			at := s.route(onChipDirT, home, o, CtrlFlits)
+			at += DefaultL1Latency
+			s.downgradeOwner(o, addr)
+			t = s.route(at, o, c, DataFlits)
+			st.C2CDirty++
+		case e.L2Owner >= 0:
+			// Dirty in a remote bank: supplier keeps the line Owned and
+			// forwards data (Origin-style dirty sharing).
+			b := int(e.L2Owner)
+			sn := s.bankNode(b, addr)
+			at := s.route(onChipDirT, home, sn, CtrlFlits)
+			at = s.bankAccess(at, sn)
+			sl, ok := s.banks[b].Probe(addr)
+			if !ok {
+				panic(fmt.Sprintf("core: directory owner bank %d lost %#x", b, addr))
+			}
+			if sl.State == cache.Modified {
+				sl.State = cache.Owned
+			}
+			t = s.route(at, sn, c, DataFlits)
+			st.C2CDirty++
+		case e.L2Count() > 0:
+			// Clean copy in some remote bank.
+			b := e.OtherL2(g)
+			sn := s.bankNode(b, addr)
+			at := s.route(onChipDirT, home, sn, CtrlFlits)
+			at = s.bankAccess(at, sn)
+			t = s.route(at, sn, c, DataFlits)
+			st.C2CClean++
+		default:
+			// Off-chip.
+			st.MemReads++
+			mn := s.mem.Node(addr)
+			at := s.route(dirT, home, mn, CtrlFlits)
+			at = s.mem.Read(at, addr)
+			t = s.route(at, mn, c, DataFlits)
+		}
+
+		// Install in the local bank.
+		bankState := cache.Shared
+		if !e.OnChip() {
+			bankState = cache.Exclusive
+		}
+		victim, evicted, nl := bank.Insert(addr, bankState, vtag)
+		bLine = nl
+		if evicted {
+			s.evictBankLine(g, victim)
+		}
+		e = s.dir.Get(addr)
+		e.AddL2(g)
+	}
+
+	// Exclusivity for writes: invalidate every other copy (sequential
+	// with the data fetch — a mild pessimism).
+	if write && (e.L2Count() > 1 || e.L1Sharers != 0) {
+		t = s.invalidateOthers(t, c, addr, st)
+		e = s.dir.Get(addr)
+	}
+
+	// Fill the private hierarchy. A second sharer demotes any Exclusive
+	// private copy so silent E->M upgrades stay coherent.
+	s.demoteExclusives(c, addr, e)
+	var pState cache.State
+	switch {
+	case write:
+		pState = cache.Modified
+		e.L1Owner = int8(c)
+		e.L2Owner = int8(g)
+		bLine.State = cache.Modified
+	case e.L1Sharers == 0 && e.L2Count() == 1 && !e.Dirty():
+		pState = cache.Exclusive
+	default:
+		pState = cache.Shared
+	}
+	s.fillL1(c, addr, pState, vtag)
+	s.fillL0(c, addr, pState, vtag)
+	e.AddL1(c)
+	return t
+}
+
+// invalidateOthers visits the home node for addr and invalidates every
+// private and bank copy other than requester c's own, waiting for the
+// slowest ack. It clears line ownership; the caller establishes the new
+// owner.
+func (s *System) invalidateOthers(at sim.Cycle, c int, addr sim.Addr, st *vm.Stats) sim.Cycle {
+	home := s.dir.Home(addr)
+	t := s.route(at, c, home, CtrlFlits)
+	t, dirHit := s.dirVisit(t, home, addr)
+	if !dirHit {
+		t += s.cfg.Mem.Latency
+	}
+
+	g := s.groupOf(c)
+	e := s.dir.Get(addr)
+	ackT := t
+
+	// Private copies at other cores.
+	for o := 0; o < s.cfg.Cores; o++ {
+		if o == c || !e.HasL1(o) {
+			continue
+		}
+		a := s.route(t, home, o, CtrlFlits)
+		s.dropPrivate(o, addr)
+		a = s.route(a, o, c, CtrlFlits)
+		ackT = sim.Max(ackT, a)
+		st.Invalidations++
+	}
+	// Bank copies in other groups.
+	for b := 0; b < s.cfg.Groups(); b++ {
+		if b == g || !e.HasL2(b) {
+			continue
+		}
+		node := s.bankNode(b, addr)
+		a := s.route(t, home, node, CtrlFlits)
+		if bl, ok := s.banks[b].Invalidate(addr); ok && bl.State.Dirty() {
+			// The invalidated copy was the dirty owner; retire it.
+			s.mem.Writeback(a, addr)
+		}
+		e.DropL2(b)
+		a = s.route(a, node, c, CtrlFlits)
+		ackT = sim.Max(ackT, a)
+		st.Invalidations++
+	}
+	if ackT == t {
+		// No sharers: home simply acks.
+		ackT = s.route(t, home, c, CtrlFlits)
+	}
+	e.L1Owner = -1
+	e.L2Owner = -1
+	return ackT
+}
+
+// demoteExclusives flips other cores' Exclusive private copies of addr to
+// Shared when a new sharer joins; without this a stale E copy could later
+// take the silent E->M upgrade while other copies exist.
+func (s *System) demoteExclusives(c int, addr sim.Addr, e *coherence.Entry) {
+	if e.L1Sharers == 0 {
+		return
+	}
+	for o := 0; o < s.cfg.Cores; o++ {
+		if o == c || !e.HasL1(o) {
+			continue
+		}
+		if ln, ok := s.l1[o].Probe(addr); ok && ln.State == cache.Exclusive {
+			ln.State = cache.Shared
+		}
+		if ln, ok := s.l0[o].Probe(addr); ok && ln.State == cache.Exclusive {
+			ln.State = cache.Shared
+		}
+	}
+}
+
+// fillL0 installs a line into core c's L0 (evictions are silent: L0 is a
+// strict subset of L1 and carries no unique state).
+func (s *System) fillL0(c int, addr sim.Addr, st cache.State, vtag uint8) {
+	if _, ok := s.l0[c].Probe(addr); ok {
+		return
+	}
+	s.l0[c].Insert(addr, st, vtag)
+}
+
+// fillL1 installs a line into core c's L1, folding a dirty victim into
+// the group bank and keeping the directory in sync.
+func (s *System) fillL1(c int, addr sim.Addr, st cache.State, vtag uint8) {
+	victim, evicted, _ := s.l1[c].Insert(addr, st, vtag)
+	if !evicted {
+		return
+	}
+	s.evictPrivateVictim(c, victim)
+	// Maintain the L0 subset property: the victim cannot stay in L0.
+	s.l0[c].Invalidate(victim.Tag)
+}
+
+// evictPrivateVictim handles an L1 eviction: dirty lines fold into the
+// group's bank; the directory drops the private sharer.
+func (s *System) evictPrivateVictim(c int, victim cache.Line) {
+	g := s.groupOf(c)
+	e, ok := s.dir.Probe(victim.Tag)
+	if !ok {
+		return
+	}
+	if victim.State == cache.Modified {
+		if bl, okb := s.banks[g].Probe(victim.Tag); okb {
+			bl.State = cache.Modified
+			e.L2Owner = int8(g)
+		}
+		if e.L1Owner == int8(c) {
+			e.L1Owner = -1
+		}
+	}
+	e.DropL1(c)
+	s.dir.Release(victim.Tag)
+}
+
+// evictBankLine handles an LLC bank eviction: back-invalidate private
+// copies in the group (inclusion), write back dirty data, update the
+// directory.
+func (s *System) evictBankLine(g int, victim cache.Line) {
+	addr := victim.Tag
+	dirty := victim.State.Dirty()
+	e, ok := s.dir.Probe(addr)
+	if ok {
+		for o := g * s.cfg.GroupSize; o < (g+1)*s.cfg.GroupSize; o++ {
+			if !e.HasL1(o) {
+				continue
+			}
+			if e.L1Owner == int8(o) {
+				dirty = true
+			}
+			s.dropPrivate(o, addr)
+			s.backInvals++
+		}
+		e.DropL2(g)
+	}
+	if dirty {
+		s.mem.Writeback(s.now, addr)
+	}
+	if ok {
+		s.dir.Release(addr)
+	}
+}
+
+// dropPrivate removes core o's L0/L1 copies of addr and clears its
+// directory presence.
+func (s *System) dropPrivate(o int, addr sim.Addr) {
+	s.l0[o].Invalidate(addr)
+	s.l1[o].Invalidate(addr)
+	if e, ok := s.dir.Probe(addr); ok {
+		e.DropL1(o)
+	}
+}
+
+// downgradeOwner services a read of a line core o holds dirty: o keeps a
+// Shared copy, the dirty data folds into o's group bank, which becomes
+// the line's owner.
+func (s *System) downgradeOwner(o int, addr sim.Addr) {
+	if ln, ok := s.l1[o].Probe(addr); ok {
+		ln.State = cache.Shared
+	}
+	if ln, ok := s.l0[o].Probe(addr); ok {
+		ln.State = cache.Shared
+	}
+	og := s.groupOf(o)
+	e := s.dir.Get(addr)
+	if bl, ok := s.banks[og].Probe(addr); ok {
+		bl.State = cache.Modified
+		e.L2Owner = int8(og)
+	}
+	if e.L1Owner == int8(o) {
+		e.L1Owner = -1
+	}
+}

@@ -1,0 +1,273 @@
+// Package core composes every substrate — caches, directory coherence,
+// mesh interconnect, memory controllers, workload generators, the VM
+// layer and the hypervisor scheduler — into the consolidated-server CMP
+// simulator that the paper's evaluation runs on. This is the paper's
+// primary contribution: a methodology for running multiple multi-threaded
+// commercial workloads, isolated in VMs, on one chip and measuring how
+// they interfere through the shared memory system.
+package core
+
+import (
+	"fmt"
+
+	"consim/internal/coherence"
+	"consim/internal/memctrl"
+	"consim/internal/sched"
+	"consim/internal/sim"
+	"consim/internal/workload"
+)
+
+// Table III machine parameters at full scale.
+const (
+	DefaultCores      = 16
+	DefaultL0Bytes    = 8 << 10  // 8 KB, 1 cycle
+	DefaultL1Bytes    = 64 << 10 // 64 KB, 2 cycles
+	DefaultLLCBytes   = 16 << 20 // 16 MB aggregate, 6 cycles
+	DefaultL0Latency  = sim.Cycle(1)
+	DefaultL1Latency  = sim.Cycle(2)
+	DefaultLLCLatency = sim.Cycle(6)
+	DefaultMemLatency = sim.Cycle(150)
+	DefaultPipeStages = 3
+)
+
+// Message sizes on the interconnect, in flits (16-byte links: a 64-byte
+// line is four body flits plus a head).
+const (
+	CtrlFlits = 1
+	DataFlits = 5
+)
+
+// Occupancies for contention modeling.
+const (
+	bankOccupancy = sim.Cycle(2)
+	dirOccupancy  = sim.Cycle(2)
+	dirLatency    = sim.Cycle(2)
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Cores is the machine size (paper: 16).
+	Cores int
+	// GroupSize is the number of cores sharing one LLC bank group: 1 =
+	// private, 2/4/8 = shared-N-way, Cores = fully shared.
+	GroupSize int
+	// Policy is the hypervisor thread-placement policy.
+	Policy sched.Policy
+	// Workloads lists the consolidated VMs; each runs ThreadsPerVM
+	// threads. One entry = an isolation run.
+	Workloads []workload.Spec
+	// ThreadsPerVM is the thread count per workload (paper: 4).
+	ThreadsPerVM int
+	// VMThreads optionally overrides ThreadsPerVM per VM (one entry per
+	// workload), for the §VII study of consolidating workloads with
+	// different thread counts.
+	VMThreads []int
+	// TimesliceCycles enables the §VII over-committed mode: when the
+	// scheduled thread count exceeds the core count, threads time-share
+	// cores and the hypervisor rotates the running thread every
+	// TimesliceCycles. Zero (the paper's configuration) forbids
+	// over-commitment.
+	TimesliceCycles sim.Cycle
+	// SwitchCycles is the hypervisor context-switch cost charged at each
+	// timeslice rotation (default 500 when over-committed).
+	SwitchCycles sim.Cycle
+	// RebalanceCycles enables the §VII dynamic-scheduling study: every
+	// RebalanceCycles the hypervisor recomputes the thread placement
+	// (with a rotated seed, so Random placements churn) and migrates
+	// threads; migrated threads re-warm their new cores' private caches
+	// naturally. Zero (the paper's configuration) keeps bindings static.
+	RebalanceCycles sim.Cycle
+
+	// Scale divides all cache capacities and workload footprints by the
+	// same factor, preserving the capacity ratios that drive behaviour.
+	// 1 = paper scale.
+	Scale int
+
+	// Seed makes runs reproducible.
+	Seed uint64
+
+	// WarmupRefs and MeasureRefs are per-core reference budgets for the
+	// warm-up and measurement phases.
+	WarmupRefs  uint64
+	MeasureRefs uint64
+	// SnapshotRefs, if non-zero, takes the replication/occupancy
+	// snapshot once each core has issued this many measured references
+	// (the paper snapshots at 500M instructions). Zero snapshots at the
+	// end of measurement.
+	SnapshotRefs uint64
+
+	// Memory system; zero value gets DefaultConfig with the paper's 150
+	// cycles.
+	Mem memctrl.Config
+
+	// DirCacheEntries sizes each home node's directory cache (entries).
+	DirCacheEntries int
+
+	// PipeStages overrides the mesh router pipeline depth (default
+	// Table III's 3-stage speculative pipeline). Used by ablations.
+	PipeStages int
+
+	// Sources optionally replaces each VM's statistical generator with a
+	// recorded reference stream (one entry per workload; nil entries
+	// fall back to the generator). This is the checkpoint-replay path:
+	// the same captured transactions run in every simulation.
+	Sources []workload.Source
+
+	// QoSPartition way-partitions every shared LLC bank among the VMs
+	// scheduled on its group — the performance-isolation mechanism the
+	// paper's conclusion calls for (and its §VI related work proposes).
+	// It has no effect on banks hosting a single VM.
+	QoSPartition bool
+	// QoSShares weights the partition (one relative share per VM;
+	// empty = equal shares). A prioritized VM receives a proportionally
+	// larger way quota, CQoS-style.
+	QoSShares []int
+
+	// LLCBytes optionally overrides the aggregate LLC capacity before
+	// scaling (default Table III 16MB).
+	LLCBytes int
+}
+
+// DefaultConfig returns the paper's machine around the given workloads.
+func DefaultConfig(specs ...workload.Spec) Config {
+	return Config{
+		Cores:           DefaultCores,
+		GroupSize:       4,
+		Policy:          sched.Affinity,
+		Workloads:       specs,
+		ThreadsPerVM:    4,
+		Scale:           1,
+		Seed:            1,
+		WarmupRefs:      400_000,
+		MeasureRefs:     1_200_000,
+		Mem:             memctrl.DefaultConfig(),
+		DirCacheEntries: 32768,
+		LLCBytes:        DefaultLLCBytes,
+	}
+}
+
+// ThreadsOf returns VM v's thread count under this configuration.
+func (c Config) ThreadsOf(v int) int {
+	if len(c.VMThreads) > 0 {
+		return c.VMThreads[v]
+	}
+	return c.ThreadsPerVM
+}
+
+// TotalThreads returns the machine's total scheduled thread count.
+func (c Config) TotalThreads() int {
+	n := 0
+	for v := range c.Workloads {
+		n += c.ThreadsOf(v)
+	}
+	return n
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	if c.Cores <= 0 || c.Cores > coherence.MaxNodes {
+		return fmt.Errorf("core: core count %d out of 1..%d", c.Cores, coherence.MaxNodes)
+	}
+	if c.GroupSize <= 0 || c.Cores%c.GroupSize != 0 {
+		return fmt.Errorf("core: group size %d does not divide %d cores", c.GroupSize, c.Cores)
+	}
+	if len(c.Workloads) == 0 {
+		return fmt.Errorf("core: no workloads configured")
+	}
+	if len(c.VMThreads) > 0 && len(c.VMThreads) != len(c.Workloads) {
+		return fmt.Errorf("core: %d thread-count overrides for %d VMs", len(c.VMThreads), len(c.Workloads))
+	}
+	if len(c.Sources) > 0 && len(c.Sources) != len(c.Workloads) {
+		return fmt.Errorf("core: %d trace sources for %d VMs", len(c.Sources), len(c.Workloads))
+	}
+	if len(c.QoSShares) > 0 {
+		if len(c.QoSShares) != len(c.Workloads) {
+			return fmt.Errorf("core: %d QoS shares for %d VMs", len(c.QoSShares), len(c.Workloads))
+		}
+		for v, sh := range c.QoSShares {
+			if sh <= 0 {
+				return fmt.Errorf("core: non-positive QoS share for VM %d", v)
+			}
+		}
+	}
+	for v := range c.Workloads {
+		if c.ThreadsOf(v) <= 0 {
+			return fmt.Errorf("core: non-positive threads for VM %d", v)
+		}
+	}
+	if c.TotalThreads() > c.Cores {
+		if c.TimesliceCycles == 0 {
+			return fmt.Errorf("core: %d threads exceed %d cores (set TimesliceCycles to over-commit)", c.TotalThreads(), c.Cores)
+		}
+		if c.TotalThreads() > 8*c.Cores {
+			return fmt.Errorf("core: over-commitment %d threads on %d cores exceeds the 8x slot limit", c.TotalThreads(), c.Cores)
+		}
+	}
+	if c.Scale <= 0 {
+		return fmt.Errorf("core: non-positive scale %d", c.Scale)
+	}
+	if c.MeasureRefs == 0 {
+		return fmt.Errorf("core: zero measurement budget")
+	}
+	for _, w := range c.Workloads {
+		if err := w.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scaledBytes divides a capacity by Scale with a floor of one line per
+// way group so tiny test scales stay valid power-of-two geometries.
+func (c Config) scaledBytes(full int) int {
+	b := full / c.Scale
+	// Round down to a power-of-two line count to keep set counts valid.
+	lines := b / sim.LineBytes
+	if lines < 16 {
+		lines = 16
+	}
+	p := 1
+	for p*2 <= lines {
+		p *= 2
+	}
+	return p * sim.LineBytes
+}
+
+// l0Bytes, l1Bytes and llcGroupBytes return the scaled capacities.
+func (c Config) l0Bytes() int { return c.scaledBytes(DefaultL0Bytes) }
+func (c Config) l1Bytes() int { return c.scaledBytes(DefaultL1Bytes) }
+
+// llcGroupBytes returns each group's LLC capacity: the aggregate divided
+// evenly across groups (1MB per core at paper scale, Table III).
+func (c Config) llcGroupBytes() int {
+	total := c.LLCBytes
+	if total == 0 {
+		total = DefaultLLCBytes
+	}
+	perCore := total / c.Cores
+	return c.scaledBytes(perCore * c.GroupSize)
+}
+
+// CoreCapacity returns how many threads each core may hold.
+func (c Config) CoreCapacity() int {
+	cap := (c.TotalThreads() + c.Cores - 1) / c.Cores
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// Groups returns the number of LLC bank groups.
+func (c Config) Groups() int { return c.Cores / c.GroupSize }
+
+// SharingName returns the paper's label for the cache organization.
+func (c Config) SharingName() string {
+	switch {
+	case c.GroupSize == 1:
+		return "private"
+	case c.GroupSize == c.Cores:
+		return "shared"
+	default:
+		return fmt.Sprintf("shared-%d-way", c.GroupSize)
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"consim/internal/sched"
+	"consim/internal/workload"
+)
+
+func TestConfigValidate(t *testing.T) {
+	spec := workload.Specs()[workload.TPCH]
+	good := DefaultConfig(spec)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mod := func(f func(*Config)) Config {
+		c := DefaultConfig(spec)
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mod(func(c *Config) { c.Cores = 0 }),
+		mod(func(c *Config) { c.GroupSize = 3 }),
+		mod(func(c *Config) { c.GroupSize = 0 }),
+		mod(func(c *Config) { c.Workloads = nil }),
+		mod(func(c *Config) { c.ThreadsPerVM = 0 }),
+		mod(func(c *Config) { c.ThreadsPerVM = 5 }), // 5 VMs worth? no: 1 VM x 5 threads ok; use below
+		mod(func(c *Config) { c.Scale = 0 }),
+		mod(func(c *Config) { c.MeasureRefs = 0 }),
+	}
+	// ThreadsPerVM 5 with one VM is fine; force over-commit instead.
+	bad[5] = DefaultConfig(spec, spec, spec, spec)
+	bad[5].ThreadsPerVM = 5
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSharingName(t *testing.T) {
+	spec := workload.Specs()[workload.TPCH]
+	cases := map[int]string{1: "private", 4: "shared-4-way", 16: "shared"}
+	for gs, want := range cases {
+		c := DefaultConfig(spec)
+		c.GroupSize = gs
+		if got := c.SharingName(); got != want {
+			t.Errorf("GroupSize %d = %q, want %q", gs, got, want)
+		}
+	}
+}
+
+func TestScaledCapacities(t *testing.T) {
+	spec := workload.Specs()[workload.TPCH]
+	c := DefaultConfig(spec)
+	if c.l0Bytes() != DefaultL0Bytes || c.l1Bytes() != DefaultL1Bytes {
+		t.Error("scale 1 changed private capacities")
+	}
+	if c.llcGroupBytes() != 4<<20 {
+		t.Errorf("shared-4 group = %d bytes, want 4MB", c.llcGroupBytes())
+	}
+	c.GroupSize = 1
+	if c.llcGroupBytes() != 1<<20 {
+		t.Errorf("private bank = %d bytes, want 1MB", c.llcGroupBytes())
+	}
+	c.GroupSize = 16
+	if c.llcGroupBytes() != 16<<20 {
+		t.Errorf("fully shared = %d bytes, want 16MB", c.llcGroupBytes())
+	}
+	// Scaling divides but keeps valid power-of-two line geometry.
+	c.Scale = 16
+	if got := c.llcGroupBytes(); got != 1<<20 {
+		t.Errorf("scaled shared bank = %d", got)
+	}
+	c.Scale = 1 << 30
+	if got := c.llcGroupBytes(); got < 16*64 {
+		t.Errorf("scaling floor violated: %d", got)
+	}
+}
+
+func TestGroups(t *testing.T) {
+	spec := workload.Specs()[workload.TPCH]
+	c := DefaultConfig(spec)
+	for gs, want := range map[int]int{1: 16, 2: 8, 4: 4, 8: 2, 16: 1} {
+		c.GroupSize = gs
+		if c.Groups() != want {
+			t.Errorf("GroupSize %d -> %d groups", gs, c.Groups())
+		}
+	}
+}
+
+func TestNewSystemErrors(t *testing.T) {
+	spec := workload.Specs()[workload.TPCH]
+	c := DefaultConfig(spec)
+	c.GroupSize = 5
+	if _, err := NewSystem(c); err == nil {
+		t.Error("invalid group size accepted")
+	}
+}
+
+func TestNewSystemAssignmentMatchesPolicy(t *testing.T) {
+	specs := workload.Specs()
+	cfg := DefaultConfig(specs[workload.TPCW], specs[workload.TPCH], specs[workload.SPECjbb], specs[workload.TPCH])
+	cfg.Scale = 64
+	cfg.Policy = sched.Affinity
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := sys.Assignment()
+	if len(asg) != 4 {
+		t.Fatalf("got %d VMs", len(asg))
+	}
+	used := map[int]bool{}
+	for _, threads := range asg {
+		for _, c := range threads {
+			if used[c] {
+				t.Fatal("core double-booked")
+			}
+			used[c] = true
+		}
+	}
+	if len(used) != 16 {
+		t.Errorf("machine not at capacity: %d cores used", len(used))
+	}
+}
+
+func TestSharingNameAllSizes(t *testing.T) {
+	spec := workload.Specs()[workload.TPCH]
+	c := DefaultConfig(spec)
+	for gs, want := range map[int]string{2: "shared-2-way", 8: "shared-8-way"} {
+		c.GroupSize = gs
+		if got := c.SharingName(); got != want {
+			t.Errorf("GroupSize %d = %q", gs, got)
+		}
+	}
+}
+
+func TestCoreCapacity(t *testing.T) {
+	spec := workload.Specs()[workload.TPCH]
+	c := DefaultConfig(spec, spec, spec, spec)
+	if c.CoreCapacity() != 1 {
+		t.Errorf("at-capacity machine capacity = %d", c.CoreCapacity())
+	}
+	c = DefaultConfig(spec, spec, spec, spec, spec)
+	c.TimesliceCycles = 1000
+	if c.CoreCapacity() != 2 {
+		t.Errorf("20 threads on 16 cores capacity = %d", c.CoreCapacity())
+	}
+}
+
+func TestPipeStagesDefaulted(t *testing.T) {
+	spec := workload.Specs()[workload.TPCH]
+	cfg := DefaultConfig(spec)
+	cfg.Scale = 64
+	cfg.PipeStages = 0
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Config().PipeStages != DefaultPipeStages {
+		t.Errorf("PipeStages defaulted to %d", sys.Config().PipeStages)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	res := Result{
+		Config: func() Config {
+			c := DefaultConfig(workload.Specs()[workload.TPCH])
+			c.GroupSize = 4
+			return c
+		}(),
+		Cycles: 100,
+		VMs: []VMResult{
+			{VM: 0, Class: workload.TPCH, Name: "TPC-H", CyclesPerTx: 10},
+			{VM: 1, Class: workload.TPCW, Name: "TPC-W", CyclesPerTx: 20},
+			{VM: 2, Class: workload.TPCH, Name: "TPC-H", CyclesPerTx: 30},
+		},
+	}
+	h := res.ByClass(workload.TPCH)
+	if len(h) != 2 || h[0].VM != 0 || h[1].VM != 2 {
+		t.Errorf("ByClass = %+v", h)
+	}
+	if len(res.ByClass(workload.SPECweb)) != 0 {
+		t.Error("phantom class results")
+	}
+	s := res.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSnapshotHelpers(t *testing.T) {
+	s := Snapshot{
+		ResidentLines:   100,
+		ReplicatedLines: 25,
+		Occupancy:       [][]int{{30, 70}, {0, 0}},
+		GroupLines:      128,
+	}
+	if s.ReplicationFraction() != 0.25 {
+		t.Errorf("ReplicationFraction = %v", s.ReplicationFraction())
+	}
+	if got := s.OccupancyShare(0, 1); got != 0.7 {
+		t.Errorf("OccupancyShare = %v", got)
+	}
+	if s.OccupancyShare(1, 0) != 0 {
+		t.Error("empty bank share not zero")
+	}
+	empty := Snapshot{}
+	if empty.ReplicationFraction() != 0 {
+		t.Error("empty snapshot not zero-safe")
+	}
+}

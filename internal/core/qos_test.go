@@ -1,0 +1,110 @@
+package core
+
+// Tests for the performance-isolation (QoS way-partitioning) extension:
+// the paper's conclusion that consolidation should extend "from
+// functional isolation into performance isolation".
+
+import (
+	"testing"
+
+	"consim/internal/sched"
+	"consim/internal/workload"
+)
+
+func TestQoSPartitionInstalledOnlyForSharedBanks(t *testing.T) {
+	all := workload.Specs()
+	cfg := fastCfg(4, sched.RoundRobin, all[workload.SPECjbb].Class, all[workload.TPCW].Class,
+		all[workload.TPCW].Class, all[workload.TPCW].Class)
+	cfg.QoSPartition = true
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round robin puts one thread of each VM in every group: all banks
+	// multi-tenant, all partitioned.
+	for g, b := range sys.banks {
+		if !b.Partitioned() {
+			t.Errorf("bank %d not partitioned under RR", g)
+		}
+	}
+	// Affinity gives each VM a private bank: no partitions.
+	cfg.Policy = sched.Affinity
+	sys, err = NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, b := range sys.banks {
+		if b.Partitioned() {
+			t.Errorf("bank %d partitioned despite single tenant", g)
+		}
+	}
+}
+
+func TestQoSWeightedSharesProtectPrioritizedVM(t *testing.T) {
+	// SPECjbb sharing banks with three TPC-W copies under round robin,
+	// prioritized with a 3x QoS share: its miss rate must drop versus
+	// the unpartitioned run, and the TPC-W co-runners pay for it.
+	run := func(shares []int) Result {
+		cfg := fastCfg(4, sched.RoundRobin,
+			workload.SPECjbb, workload.TPCW, workload.TPCW, workload.TPCW)
+		if shares != nil {
+			cfg.QoSPartition = true
+			cfg.QoSShares = shares
+		}
+		return mustRun(t, cfg)
+	}
+	free := run(nil)
+	qos := run([]int{5, 1, 1, 1})
+	freeRate := free.ByClass(workload.SPECjbb)[0].MissRate()
+	qosRate := qos.ByClass(workload.SPECjbb)[0].MissRate()
+	if qosRate >= freeRate {
+		t.Errorf("priority share did not protect SPECjbb: %.4f -> %.4f", freeRate, qosRate)
+	}
+}
+
+func TestQoSEqualSplitCanHurtReuseHeavyTenant(t *testing.T) {
+	// The counterintuitive finding the equal-split experiment surfaces:
+	// plain LRU already favors a reuse-heavy tenant (its hits refresh
+	// recency while a sweeping co-runner's lines age out), so capping
+	// everyone at an equal quota can *reduce* the reuse-heavy tenant's
+	// natural occupancy. The assertion pins the mechanism: equal split
+	// changes SPECjbb's miss rate measurably rather than being a no-op.
+	run := func(qos bool) Result {
+		cfg := fastCfg(4, sched.RoundRobin,
+			workload.SPECjbb, workload.TPCW, workload.TPCW, workload.TPCW)
+		cfg.QoSPartition = qos
+		return mustRun(t, cfg)
+	}
+	free := run(false).ByClass(workload.SPECjbb)[0].MissRate()
+	eq := run(true).ByClass(workload.SPECjbb)[0].MissRate()
+	if eq == free {
+		t.Error("equal partition had no effect at all")
+	}
+}
+
+func TestQoSSharesValidation(t *testing.T) {
+	all := workload.Specs()
+	cfg := DefaultConfig(all[workload.TPCH], all[workload.TPCW])
+	cfg.QoSShares = []int{1}
+	if cfg.Validate() == nil {
+		t.Error("mismatched shares length accepted")
+	}
+	cfg.QoSShares = []int{1, 0}
+	if cfg.Validate() == nil {
+		t.Error("zero share accepted")
+	}
+}
+
+func TestQoSPartitionKeepsProtocolConsistent(t *testing.T) {
+	cfg := fastCfg(4, sched.RoundRobin,
+		workload.SPECjbb, workload.TPCW, workload.TPCH, workload.SPECweb)
+	cfg.QoSPartition = true
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	checkGlobalConsistency(t, sys)
+}

@@ -1,0 +1,120 @@
+package core
+
+// Tests for the §VII dynamic-scheduling extension: periodic hypervisor
+// rebalancing with thread migration.
+
+import (
+	"testing"
+
+	"consim/internal/sched"
+	"consim/internal/workload"
+)
+
+func TestRebalanceMigratesThreads(t *testing.T) {
+	cfg := fastCfg(4, sched.Random,
+		workload.TPCH, workload.SPECjbb, workload.TPCW, workload.SPECweb)
+	cfg.RebalanceCycles = 100_000
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Migrations == 0 {
+		t.Error("no migrations under periodic random rebalancing")
+	}
+	for _, v := range res.VMs {
+		if v.Stats.Refs == 0 {
+			t.Errorf("vm %d starved after migrations", v.VM)
+		}
+	}
+	checkGlobalConsistency(t, sys)
+}
+
+func TestRebalanceIsolationRunSurvives(t *testing.T) {
+	// The starvation hazard: an isolation run (4 threads on 16 cores)
+	// migrates threads onto previously idle cores, which must be woken.
+	cfg := fastCfg(4, sched.Random, workload.TPCH)
+	cfg.RebalanceCycles = 50_000
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VMs[0].Stats.Refs == 0 {
+		t.Fatal("isolated workload starved under rebalancing")
+	}
+	if sys.Migrations == 0 {
+		t.Error("random rebalancing never moved the isolated threads")
+	}
+	checkGlobalConsistency(t, sys)
+}
+
+func TestRebalanceCostsMisses(t *testing.T) {
+	// Frequent migration must raise the miss rate versus static binding
+	// (each move abandons warmed L0/L1 state).
+	run := func(rebalance bool) float64 {
+		cfg := fastCfg(4, sched.Random,
+			workload.SPECjbb, workload.SPECjbb, workload.SPECjbb, workload.SPECjbb)
+		if rebalance {
+			cfg.RebalanceCycles = 30_000
+		}
+		res := mustRun(t, cfg)
+		sum := 0.0
+		for _, v := range res.VMs {
+			sum += v.Stats.MissRate()
+		}
+		return sum / float64(len(res.VMs))
+	}
+	static := run(false)
+	dynamic := run(true)
+	if dynamic <= static {
+		t.Errorf("migration did not cost misses: static %.4f, dynamic %.4f", static, dynamic)
+	}
+}
+
+func TestRebalanceWithOvercommit(t *testing.T) {
+	all := workload.Specs()
+	cfg := DefaultConfig(
+		all[workload.TPCH], all[workload.SPECjbb], all[workload.TPCW],
+		all[workload.SPECweb], all[workload.TPCH], all[workload.SPECjbb],
+	)
+	cfg.Scale = 32
+	cfg.Policy = sched.Random
+	cfg.WarmupRefs = 10_000
+	cfg.MeasureRefs = 20_000
+	cfg.TimesliceCycles = 10_000
+	cfg.RebalanceCycles = 80_000
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Switches == 0 || sys.Migrations == 0 {
+		t.Errorf("switches=%d migrations=%d; both mechanisms must fire", sys.Switches, sys.Migrations)
+	}
+	for _, v := range res.VMs {
+		if v.Stats.Refs == 0 {
+			t.Errorf("vm %d starved", v.VM)
+		}
+	}
+	checkGlobalConsistency(t, sys)
+}
+
+func TestRebalanceDeterminism(t *testing.T) {
+	cfg := fastCfg(4, sched.Random, workload.TPCH, workload.TPCW)
+	cfg.RebalanceCycles = 60_000
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if a.Cycles != b.Cycles || a.VMs[0].Stats != b.VMs[0].Stats {
+		t.Error("dynamic rebalancing broke determinism")
+	}
+}

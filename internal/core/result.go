@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"consim/internal/sim"
+	"consim/internal/vm"
+	"consim/internal/workload"
+)
+
+// VMResult is one virtual machine's measured behaviour over the
+// measurement window.
+type VMResult struct {
+	VM    int
+	Class workload.Class
+	Name  string
+
+	Stats vm.Stats
+
+	// Transactions completed in the measurement window (fractional; a
+	// window rarely ends exactly on a transaction boundary).
+	Transactions float64
+	// CyclesPerTx is the paper's per-VM performance metric: window
+	// cycles divided by transactions completed in the window.
+	CyclesPerTx float64
+	// TouchedBlocks is the distinct 64-byte blocks referenced across the
+	// whole run (Table II footprint).
+	TouchedBlocks uint64
+}
+
+// MissRate returns the per-VM LLC miss rate.
+func (r VMResult) MissRate() float64 { return r.Stats.MissRate() }
+
+// AvgMissLatency returns the per-VM average private-miss latency.
+func (r VMResult) AvgMissLatency() float64 { return r.Stats.AvgMissLatency() }
+
+// Snapshot is the Figure 12/13 state capture.
+type Snapshot struct {
+	// At is the cycle the snapshot was taken.
+	At sim.Cycle
+	// ResidentLines / ReplicatedLines count distinct lines in >=1 and
+	// >=2 LLC banks.
+	ResidentLines   int
+	ReplicatedLines int
+	// Occupancy[group][vmID] is the number of LLC lines in that bank
+	// group inserted by that VM.
+	Occupancy [][]int
+	// GroupLines is each group's total line capacity.
+	GroupLines int
+}
+
+// ReplicationFraction returns replicated/resident lines (Figure 12).
+func (s Snapshot) ReplicationFraction() float64 {
+	if s.ResidentLines == 0 {
+		return 0
+	}
+	return float64(s.ReplicatedLines) / float64(s.ResidentLines)
+}
+
+// OccupancyShare returns VM v's fraction of bank group g's resident
+// lines (Figure 13).
+func (s Snapshot) OccupancyShare(g, v int) float64 {
+	tot := 0
+	for _, n := range s.Occupancy[g] {
+		tot += n
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.Occupancy[g][v]) / float64(tot)
+}
+
+// Result is a complete run's output.
+type Result struct {
+	Config Config
+
+	// Cycles is the length of the measurement window.
+	Cycles sim.Cycle
+	VMs    []VMResult
+
+	Snapshot Snapshot
+
+	// System-level contention indicators.
+	NetAvgWait      float64 // mean link-queue cycles per mesh transfer
+	NetAvgHops      float64
+	MemAvgWait      float64 // mean controller-queue cycles per demand read
+	DirCacheHitRate float64
+
+	// Replication metadata, filled by the experiment harness when a
+	// configuration is run with multiple perturbed seeds (Alameldeen-
+	// Wood statistical simulation): Replicates is the merged run count
+	// and CptCV the per-VM coefficient of variation of
+	// cycles-per-transaction across replicates.
+	Replicates int
+	CptCV      []float64
+}
+
+// ByClass returns the results of all VMs running the given workload, in
+// VM order.
+func (r Result) ByClass(c workload.Class) []VMResult {
+	var out []VMResult
+	for _, v := range r.VMs {
+		if v.Class == c {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String summarizes the run for logs.
+func (r Result) String() string {
+	s := fmt.Sprintf("%s/%s: %d cycles", r.Config.SharingName(), r.Config.Policy, r.Cycles)
+	for _, v := range r.VMs {
+		s += fmt.Sprintf("\n  vm%d %-8s cpt=%.0f missRate=%.4f missLat=%.1f c2c=%.2f",
+			v.VM, v.Name, v.CyclesPerTx, v.MissRate(), v.AvgMissLatency(), v.Stats.C2CFraction())
+	}
+	return s
+}

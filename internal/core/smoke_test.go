@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"consim/internal/workload"
+)
+
+// TestSmokeIsolatedRun drives one scaled-down isolated workload through
+// the full system and sanity-checks the result shape.
+func TestSmokeIsolatedRun(t *testing.T) {
+	specs := workload.Specs()
+	cfg := DefaultConfig(specs[workload.TPCH])
+	cfg.Scale = 16
+	cfg.GroupSize = 1 // private LLC, the Table II configuration
+	cfg.WarmupRefs = 50_000
+	cfg.MeasureRefs = 150_000
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.VMs) != 1 {
+		t.Fatalf("want 1 VM result, got %d", len(res.VMs))
+	}
+	v := res.VMs[0]
+	t.Logf("refs=%d privMiss=%d llcMiss=%d c2c=%.3f (clean=%d dirty=%d) missLat=%.1f cpt=%.0f touched=%d cycles=%d",
+		v.Stats.Refs, v.Stats.PrivMisses, v.Stats.LLCMisses,
+		v.Stats.C2CFraction(), v.Stats.C2CClean, v.Stats.C2CDirty,
+		v.AvgMissLatency(), v.CyclesPerTx, v.TouchedBlocks, res.Cycles)
+	if v.Stats.Refs == 0 || v.Stats.PrivMisses == 0 {
+		t.Fatalf("no activity recorded: %+v", v.Stats)
+	}
+	if v.AvgMissLatency() <= float64(DefaultLLCLatency) {
+		t.Errorf("implausible miss latency %.1f", v.AvgMissLatency())
+	}
+	if res.Cycles == 0 {
+		t.Error("empty measurement window")
+	}
+}

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"fmt"
+
+	"consim/internal/cache"
+	"consim/internal/coherence"
+	"consim/internal/memctrl"
+	"consim/internal/mesh"
+	"consim/internal/sched"
+	"consim/internal/sim"
+	"consim/internal/vm"
+	"consim/internal/workload"
+)
+
+// runnable is one schedulable VM thread.
+type runnable struct {
+	vmID   int
+	thread int
+}
+
+// coreState is one in-order core: the thread(s) bound to it and its
+// reference progress. In-order cores block on every memory access, so a
+// core is fully described by the time its next reference may issue. With
+// over-commitment a core holds several runnables and rotates between
+// them every timeslice.
+type coreState struct {
+	queue    []runnable
+	cur      int
+	sliceEnd sim.Cycle
+	active   bool
+	refs     uint64
+	rng      *sim.RNG
+}
+
+// System is one configured simulation: the paper's 16-core CMP with the
+// chosen LLC organization and scheduling policy, loaded to capacity with
+// the configured VMs.
+type System struct {
+	cfg  Config
+	geom mesh.Geometry
+
+	net      *mesh.Model
+	mem      *memctrl.Mem
+	dir      *coherence.Directory
+	dirCache *coherence.DirCache
+
+	l0    []*cache.Cache
+	l1    []*cache.Cache
+	banks []*cache.Cache // one per LLC group
+
+	bankBusy []sim.Cycle // per mesh node (bank slice occupancy)
+	dirBusy  []sim.Cycle // per mesh node (directory occupancy)
+
+	vms        []*vm.VM
+	cores      []coreState
+	assignment [][]int
+	thinkOf    []uint64 // per-VM 2*mean+1 think-time draw range
+
+	// Switches counts hypervisor timeslice rotations (over-commit mode).
+	Switches uint64
+	// Migrations counts threads moved by dynamic rebalancing.
+	Migrations uint64
+
+	nextRebalance sim.Cycle
+	rebalanceSeed uint64
+	pending       []bool // cores with an in-flight event
+	globalRefs    uint64
+	activeCores   int
+
+	now sim.Cycle
+	q   *sim.EventQueue
+
+	backInvals uint64
+}
+
+// NewSystem builds and schedules a system from cfg. Construction errors
+// (invalid config, unschedulable placement) are returned, not panicked:
+// configs arrive from CLI flags and experiment sweeps.
+func NewSystem(cfg Config) (*System, error) {
+	netCfg := mesh.DefaultNetConfig(cfg.Cores)
+	if cfg.Mem.Controllers == 0 {
+		// Controllers attach at the mesh corners, generalizing the
+		// paper's 4x4 layout to the scaling-study machine sizes.
+		g := netCfg.Geometry
+		cfg.Mem = memctrl.Config{
+			Controllers: 4,
+			Latency:     DefaultMemLatency,
+			Occupancy:   20,
+			Nodes: []int{
+				g.Node(0, 0), g.Node(g.Width-1, 0),
+				g.Node(0, g.Height-1), g.Node(g.Width-1, g.Height-1),
+			},
+		}
+	}
+	if cfg.DirCacheEntries == 0 {
+		cfg.DirCacheEntries = 32768
+	}
+	if cfg.PipeStages == 0 {
+		cfg.PipeStages = DefaultPipeStages
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:      cfg,
+		geom:     netCfg.Geometry,
+		net:      mesh.NewModel(netCfg.Geometry, cfg.PipeStages),
+		mem:      memctrl.New(cfg.Mem),
+		dir:      coherence.NewDirectory(cfg.Cores),
+		dirCache: coherence.NewDirCache(cfg.Cores, coherence.DirCacheConfig{Entries: cfg.DirCacheEntries, Assoc: 8}),
+		bankBusy: make([]sim.Cycle, cfg.Cores),
+		dirBusy:  make([]sim.Cycle, cfg.Cores),
+		q:        sim.NewEventQueue(cfg.Cores),
+	}
+
+	for i := 0; i < cfg.Cores; i++ {
+		s.l0 = append(s.l0, cache.New(cache.Config{SizeBytes: cfg.l0Bytes(), Assoc: 2, Latency: DefaultL0Latency}))
+		s.l1 = append(s.l1, cache.New(cache.Config{SizeBytes: cfg.l1Bytes(), Assoc: 4, Latency: DefaultL1Latency}))
+	}
+	for g := 0; g < cfg.Groups(); g++ {
+		s.banks = append(s.banks, cache.New(cache.Config{SizeBytes: cfg.llcGroupBytes(), Assoc: 16, Latency: DefaultLLCLatency}))
+	}
+
+	// Lay the VMs out in disjoint physical regions and place threads.
+	rootRNG := sim.NewRNG(cfg.Seed)
+	var base sim.Addr
+	vmThreads := make([]int, len(cfg.Workloads))
+	for i, spec := range cfg.Workloads {
+		scaled := spec.Scaled(cfg.Scale)
+		var src workload.Source
+		if len(cfg.Sources) > 0 && cfg.Sources[i] != nil {
+			src = cfg.Sources[i]
+		} else {
+			src = workload.NewGenerator(scaled, cfg.ThreadsOf(i), rootRNG.Uint64()+uint64(i))
+		}
+		m := vm.New(i, src, base)
+		base = m.RegionEnd(1 << 20)
+		s.vms = append(s.vms, m)
+		vmThreads[i] = cfg.ThreadsOf(i)
+	}
+	asg, err := sched.AssignWithCapacity(cfg.Policy, cfg.Cores, cfg.GroupSize, cfg.CoreCapacity(), vmThreads, cfg.Seed^0xa5a5)
+	if err != nil {
+		return nil, err
+	}
+	s.assignment = asg
+
+	s.thinkOf = make([]uint64, len(cfg.Workloads))
+	for v := range cfg.Workloads {
+		s.thinkOf[v] = uint64(2*cfg.Workloads[v].ThinkCycles) + 1
+	}
+	capacity := cfg.CoreCapacity()
+	s.cores = make([]coreState, cfg.Cores)
+	s.pending = make([]bool, cfg.Cores)
+	for c := range s.cores {
+		s.cores[c].rng = sim.NewRNG(cfg.Seed ^ uint64(c)<<8 ^ 0x77)
+	}
+	for v := range asg {
+		for t, c := range asg[v] {
+			if len(s.cores[c].queue) >= capacity {
+				return nil, fmt.Errorf("core: placement overfilled core %d", c)
+			}
+			s.cores[c].queue = append(s.cores[c].queue, runnable{vmID: v, thread: t})
+			s.cores[c].active = true
+		}
+	}
+	for c := range s.cores {
+		if s.cores[c].active {
+			s.activeCores++
+		}
+	}
+	if cfg.QoSPartition {
+		s.installPartitions()
+	}
+	if cfg.RebalanceCycles > 0 {
+		s.nextRebalance = cfg.RebalanceCycles
+		s.rebalanceSeed = cfg.Seed ^ 0xd15c
+	}
+	return s, nil
+}
+
+// rebalance recomputes the placement with a rotated seed and migrates
+// threads to their new cores. Cache contents stay where they were, so a
+// migrated thread pays natural re-warming misses (§VII's dynamic
+// scheduling study).
+func (s *System) rebalance() {
+	s.rebalanceSeed = s.rebalanceSeed*0x9e3779b97f4a7c15 + 1
+	vmThreads := make([]int, len(s.vms))
+	for v := range s.vms {
+		vmThreads[v] = s.cfg.ThreadsOf(v)
+	}
+	asg, err := sched.AssignWithCapacity(s.cfg.Policy, s.cfg.Cores, s.cfg.GroupSize,
+		s.cfg.CoreCapacity(), vmThreads, s.rebalanceSeed)
+	if err != nil {
+		return // placement unchanged; cannot happen with a validated config
+	}
+	old := make([]map[runnable]bool, s.cfg.Cores)
+	for c := range s.cores {
+		old[c] = make(map[runnable]bool, len(s.cores[c].queue))
+		for _, run := range s.cores[c].queue {
+			old[c][run] = true
+		}
+		s.cores[c].queue = s.cores[c].queue[:0]
+		s.cores[c].cur = 0
+		s.cores[c].sliceEnd = s.now + s.cfg.TimesliceCycles
+	}
+	for v := range asg {
+		for t, c := range asg[v] {
+			run := runnable{vmID: v, thread: t}
+			s.cores[c].queue = append(s.cores[c].queue, run)
+			if !old[c][run] {
+				s.Migrations++
+			}
+		}
+	}
+	s.assignment = asg
+	// Re-seed events for cores the rebalance just populated.
+	for c := range s.cores {
+		s.cores[c].active = len(s.cores[c].queue) > 0
+		if s.cores[c].active && !s.pending[c] {
+			s.q.Push(s.now+1, c)
+			s.pending[c] = true
+		}
+	}
+	if s.cfg.QoSPartition {
+		s.installPartitions()
+	}
+}
+
+// shareOf returns VM v's relative QoS share (1 when unweighted).
+func (s *System) shareOf(v int) int {
+	if len(s.cfg.QoSShares) > 0 {
+		return s.cfg.QoSShares[v]
+	}
+	return 1
+}
+
+// installPartitions way-partitions each LLC bank among the VMs whose
+// threads are scheduled on the bank's core group, proportionally to
+// their QoS shares.
+func (s *System) installPartitions() {
+	for g, bank := range s.banks {
+		present := map[int]bool{}
+		for c := g * s.cfg.GroupSize; c < (g+1)*s.cfg.GroupSize; c++ {
+			for _, run := range s.cores[c].queue {
+				present[run.vmID] = true
+			}
+		}
+		if len(present) < 2 {
+			continue // a single tenant needs no isolation
+		}
+		assoc := bank.Config().Assoc
+		totalShares := 0
+		for v := range present {
+			totalShares += s.shareOf(v)
+		}
+		quota := make([]int, len(s.vms))
+		for v := range quota {
+			quota[v] = assoc // absent VMs never insert here
+		}
+		for v := range present {
+			q := assoc * s.shareOf(v) / totalShares
+			if q < 1 {
+				q = 1
+			}
+			quota[v] = q
+		}
+		bank.SetPartition(quota)
+	}
+}
+
+// currentVM returns the VM whose thread is running on core c right now.
+func (s *System) currentVM(c int) int {
+	cs := &s.cores[c]
+	return cs.queue[cs.cur].vmID
+}
+
+// Assignment returns the placement chosen by the policy:
+// assignment[vm][thread] = core.
+func (s *System) Assignment() [][]int { return s.assignment }
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// VMs returns the virtual machines.
+func (s *System) VMs() []*vm.VM { return s.vms }
+
+// groupOf returns the LLC group of core c.
+func (s *System) groupOf(c int) int { return c / s.cfg.GroupSize }
+
+// bankNode returns the mesh node holding the LLC slice of group g that
+// caches addr: the group's capacity is interleaved across its cores'
+// nodes, so private caches (group size 1) sit at their own core and
+// larger groups spread across their span.
+func (s *System) bankNode(g int, addr sim.Addr) int {
+	n := s.cfg.GroupSize
+	return g*n + int(sim.BlockID(addr)%uint64(n))
+}
+
+// Run executes warm-up then measurement and returns the results.
+func (s *System) Run() (Result, error) {
+	if len(s.vms) == 0 {
+		return Result{}, fmt.Errorf("core: empty system")
+	}
+	// Seed the event queue with every active core.
+	for c := range s.cores {
+		if s.cores[c].active {
+			s.q.Push(0, c)
+			s.pending[c] = true
+		}
+	}
+
+	// Warm-up phase.
+	s.runUntil(s.cfg.WarmupRefs)
+	measureStart := s.now
+	for _, m := range s.vms {
+		m.ResetStats()
+	}
+	for _, c := range s.l0 {
+		c.ResetStats()
+	}
+	for _, c := range s.l1 {
+		c.ResetStats()
+	}
+	for _, b := range s.banks {
+		b.ResetStats()
+	}
+	s.net.ResetStats()
+	s.mem.ResetStats()
+
+	// Measurement phase, with an optional mid-run snapshot.
+	var snap Snapshot
+	snapTaken := false
+	if s.cfg.SnapshotRefs > 0 && s.cfg.SnapshotRefs < s.cfg.MeasureRefs {
+		s.runUntil(s.cfg.WarmupRefs + s.cfg.SnapshotRefs)
+		snap = s.takeSnapshot()
+		snapTaken = true
+	}
+	s.runUntil(s.cfg.WarmupRefs + s.cfg.MeasureRefs)
+	if !snapTaken {
+		snap = s.takeSnapshot()
+	}
+	window := s.now - measureStart
+
+	res := Result{
+		Config:          s.cfg,
+		Cycles:          window,
+		Snapshot:        snap,
+		NetAvgWait:      s.net.AvgWait(),
+		NetAvgHops:      s.net.AvgHops(),
+		MemAvgWait:      s.mem.AvgWait(),
+		DirCacheHitRate: s.dirCache.HitRate(),
+	}
+	for i, m := range s.vms {
+		spec := m.Gen.Spec()
+		tx := float64(m.Stats.Refs) / float64(spec.RefsPerTx)
+		cpt := 0.0
+		if tx > 0 {
+			cpt = float64(window) / tx
+		}
+		res.VMs = append(res.VMs, VMResult{
+			VM: i, Class: m.Class(), Name: m.Name(),
+			Stats:         m.Stats,
+			Transactions:  tx,
+			CyclesPerTx:   cpt,
+			TouchedBlocks: m.TouchedBlocks(),
+		})
+	}
+	if err := s.dir.CheckInvariants(); err != nil {
+		return res, fmt.Errorf("core: coherence invariant violated: %w", err)
+	}
+	return res, nil
+}
+
+// runUntil advances the system until every active core has issued at
+// least target references. With dynamic rebalancing enabled, threads
+// migrate between cores, so progress is tracked globally instead: the
+// loop runs until the machine has issued target references per
+// originally-active core in aggregate.
+func (s *System) runUntil(target uint64) {
+	dynamic := s.cfg.RebalanceCycles > 0
+	remaining := 0
+	for c := range s.cores {
+		if s.cores[c].active && s.cores[c].refs < target {
+			remaining++
+		}
+	}
+	globalTarget := target * uint64(s.activeCores)
+	for s.q.Len() > 0 {
+		if dynamic {
+			if s.globalRefs >= globalTarget {
+				break
+			}
+		} else if remaining == 0 {
+			break
+		}
+		t, c := s.q.Pop()
+		s.pending[c] = false
+		s.now = t
+		if dynamic && s.now >= s.nextRebalance {
+			s.rebalance()
+			s.nextRebalance = s.now + s.cfg.RebalanceCycles
+		}
+		if len(s.cores[c].queue) == 0 {
+			continue // idled by a rebalance; its in-flight event is stale
+		}
+		cs := &s.cores[c]
+		if cs.cur >= len(cs.queue) {
+			cs.cur = 0
+		}
+		run := cs.queue[cs.cur]
+		m := s.vms[run.vmID]
+
+		acc := m.Gen.Next(run.thread)
+		m.Touch(acc.Block)
+		addr := m.AddrOf(acc.Block)
+		missesBefore := m.Stats.LLCMisses
+		lat := s.access(c, run.vmID, addr, acc.Write)
+		m.Stats.Refs++
+		s.globalRefs++
+		if m.Stats.LLCMisses != missesBefore {
+			region := m.Gen.Spec().RegionOf(acc.Block, s.cfg.ThreadsOf(run.vmID))
+			m.Stats.RegionMisses[region]++
+		}
+
+		cs.refs++
+		if cs.refs == target {
+			remaining--
+		}
+		next := s.now + lat + sim.Cycle(cs.rng.Uint64n(s.thinkOf[run.vmID]))
+		// Over-commit: rotate the runnable at timeslice expiry, paying
+		// the hypervisor switch cost.
+		if len(cs.queue) > 1 && next >= cs.sliceEnd {
+			cs.cur = (cs.cur + 1) % len(cs.queue)
+			next += s.switchCost()
+			cs.sliceEnd = next + s.cfg.TimesliceCycles
+			s.Switches++
+		}
+		s.q.Push(next, c)
+		s.pending[c] = true
+	}
+}
+
+// switchCost returns the configured context-switch penalty.
+func (s *System) switchCost() sim.Cycle {
+	if s.cfg.SwitchCycles > 0 {
+		return s.cfg.SwitchCycles
+	}
+	return 500
+}
+
+// takeSnapshot captures the Figure 12/13 state.
+func (s *System) takeSnapshot() Snapshot {
+	resident, replicated := s.dir.ReplicationSnapshot()
+	occ := make([][]int, len(s.banks))
+	for g, b := range s.banks {
+		occ[g] = b.OccupancyByVM(len(s.vms) - 1)
+	}
+	return Snapshot{
+		At:              s.now,
+		ResidentLines:   resident,
+		ReplicatedLines: replicated,
+		Occupancy:       occ,
+		GroupLines:      s.banks[0].Lines(),
+	}
+}

@@ -1,0 +1,494 @@
+package harness
+
+import (
+	"fmt"
+
+	"consim/internal/core"
+	"consim/internal/sched"
+	"consim/internal/workload"
+)
+
+// This file holds one runner per artifact of the paper's evaluation
+// section. Each returns a Table whose rows/columns mirror the published
+// figure. Normalizations follow §V:
+//
+//   - performance   = cycles-per-transaction, normalized to the same
+//     workload isolated on 4 cores with the whole LLC fully shared;
+//   - miss rate     = per-VM LLC misses / references (relative variants
+//     normalize to the isolation baseline);
+//   - miss latency  = mean cycles to satisfy a private-cache miss
+//     (relative variants normalize to isolation / affinity / shared-4).
+
+// isoPolicies are the two policies the isolation figures sweep.
+var isoPolicies = []sched.Policy{sched.RoundRobin, sched.Affinity}
+
+// TableII reproduces Table II: per-workload cache-to-cache transfer
+// statistics and footprint, measured in isolation on private LLCs.
+func (r *Runner) TableII() (*Table, error) {
+	t := &Table{
+		ID:      "T2",
+		Title:   "Workload statistics (isolated, private LLCs)",
+		RowHead: "workload",
+		Columns: []string{"c2c all", "c2c clean", "c2c dirty", "blocks (K)"},
+	}
+	targets := workload.TableII()
+	err := r.parallelDo(int(workload.NumClasses), func(i int) error {
+		_, e := r.RunIsolation(workload.Class(i), 1, sched.Affinity)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, class := range workload.All() {
+		res, err := r.RunIsolation(class, 1, sched.Affinity)
+		if err != nil {
+			return nil, err
+		}
+		v := res.VMs[0]
+		dirty := v.Stats.C2CDirtyShare()
+		t.Add(class.String(),
+			v.Stats.C2COfLLCMisses(), 1-dirty, dirty,
+			float64(v.TouchedBlocks)/1000)
+		tg := targets[class]
+		t.Note("%s paper: all=%.2f clean=%.2f dirty=%.2f blocks=%dK",
+			class, tg.C2CAll, tg.C2CClean, tg.C2CDirty, tg.BlocksK)
+	}
+	return t, nil
+}
+
+// isolationSweep runs every (workload, groupSize, policy) combination and
+// fills a table via value().
+func (r *Runner) isolationSweep(id, title string, groupSizes []int, policies []sched.Policy,
+	value func(v core.VMResult, base core.VMResult) float64) (*Table, error) {
+
+	t := &Table{ID: id, Title: title, RowHead: "workload"}
+	for _, gs := range groupSizes {
+		for _, p := range policies {
+			t.Columns = append(t.Columns, fmt.Sprintf("%s/%s", groupSizeName(gs), p))
+		}
+	}
+	type job struct {
+		class workload.Class
+		gs    int
+		p     sched.Policy
+	}
+	var jobs []job
+	for _, class := range workload.All() {
+		for _, gs := range groupSizes {
+			for _, p := range policies {
+				jobs = append(jobs, job{class, gs, p})
+			}
+		}
+	}
+	err := r.parallelDo(len(jobs), func(i int) error {
+		j := jobs[i]
+		_, e := r.RunIsolation(j.class, j.gs, j.p)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, class := range workload.All() {
+		base, err := r.IsolationBaseline(class)
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		for _, gs := range groupSizes {
+			for _, p := range policies {
+				res, err := r.RunIsolation(class, gs, p)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, value(res.VMs[0], base))
+			}
+		}
+		t.Add(class.String(), vals...)
+	}
+	return t, nil
+}
+
+// Fig2 reproduces Figure 2: isolated-workload performance across LLC
+// organizations and scheduling policies, normalized to the fully-shared
+// baseline.
+func (r *Runner) Fig2() (*Table, error) {
+	t, err := r.isolationSweep("F2", "Isolated workload performance (normalized runtime; 1.0 = fully shared)",
+		[]int{core.DefaultCores, 8, 4, 1}, isoPolicies,
+		func(v, base core.VMResult) float64 { return v.CyclesPerTx / base.CyclesPerTx })
+	if err != nil {
+		return nil, err
+	}
+	t.Note("higher = slower; paper: performance degrades as per-thread LLC share shrinks, worst for TPC-W")
+	return t, nil
+}
+
+// Fig3 reproduces Figure 3: isolated-workload LLC miss rates for the same
+// sweep as Figure 2.
+func (r *Runner) Fig3() (*Table, error) {
+	t, err := r.isolationSweep("F3", "Isolated workload LLC miss rates (misses per reference)",
+		[]int{core.DefaultCores, 8, 4, 1}, isoPolicies,
+		func(v, _ core.VMResult) float64 { return v.MissRate() })
+	if err != nil {
+		return nil, err
+	}
+	t.Note("paper: misses grow as capacity seen by each thread decreases; RR replicates read-shared data")
+	return t, nil
+}
+
+// Fig4 reproduces Figure 4: isolated-workload average miss latencies for
+// shared, shared-4-way and private LLCs under all four policies.
+func (r *Runner) Fig4() (*Table, error) {
+	return r.isolationSweep("F4", "Isolated workload miss latency (cycles per private-cache miss)",
+		[]int{core.DefaultCores, 4, 1}, sched.All(),
+		func(v, _ core.VMResult) float64 { return v.AvgMissLatency() })
+}
+
+// homogeneousSweep runs Mixes A-D under every policy on shared-4-way
+// caches and fills a table via value().
+func (r *Runner) homogeneousSweep(id, title string,
+	value func(v core.VMResult, iso, iso4aff core.VMResult) float64) (*Table, error) {
+
+	t := &Table{ID: id, Title: title, RowHead: "mix"}
+	for _, p := range sched.All() {
+		t.Columns = append(t.Columns, p.String())
+	}
+	mixes := HomogeneousMixes()
+	type job struct {
+		mi, pi int
+	}
+	var jobs []job
+	for mi := range mixes {
+		for pi := range sched.All() {
+			jobs = append(jobs, job{mi, pi})
+		}
+	}
+	err := r.parallelDo(len(jobs), func(i int) error {
+		j := jobs[i]
+		_, e := r.RunMix(mixes[j.mi], 4, sched.All()[j.pi])
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, mix := range mixes {
+		class := mix.Classes[0]
+		iso, err := r.IsolationBaseline(class)
+		if err != nil {
+			return nil, err
+		}
+		iso4, err := r.IsolationShared4Affinity(class)
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		for _, p := range sched.All() {
+			res, err := r.RunMix(mix, 4, p)
+			if err != nil {
+				return nil, err
+			}
+			sum := 0.0
+			for _, v := range res.VMs {
+				sum += value(v, iso, iso4)
+			}
+			vals = append(vals, sum/float64(len(res.VMs)))
+		}
+		t.Add(fmt.Sprintf("%s %s", mix.ID, class), vals...)
+	}
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: homogeneous-mix performance per policy,
+// relative to isolation.
+func (r *Runner) Fig5() (*Table, error) {
+	t, err := r.homogeneousSweep("F5", "Homogeneous mixes: normalized runtime vs isolation (shared-4-way)",
+		func(v, iso, _ core.VMResult) float64 { return v.CyclesPerTx / iso.CyclesPerTx })
+	if err != nil {
+		return nil, err
+	}
+	t.Note("paper: affinity is the best policy; SPECjbb and SPECweb degrade most under round robin")
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: homogeneous-mix miss latency per policy,
+// normalized to the workload isolated with affinity scheduling.
+func (r *Runner) Fig6() (*Table, error) {
+	t, err := r.homogeneousSweep("F6", "Homogeneous mixes: miss latency vs isolation/affinity",
+		func(v, _, iso4 core.VMResult) float64 { return v.AvgMissLatency() / iso4.AvgMissLatency() })
+	if err != nil {
+		return nil, err
+	}
+	t.Note("paper: TPC-W shows the greatest miss-latency increase going from isolated to mixed")
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: homogeneous-mix miss rates relative to
+// isolation.
+func (r *Runner) Fig7() (*Table, error) {
+	return r.homogeneousSweep("F7", "Homogeneous mixes: LLC miss rate vs isolation",
+		func(v, iso, _ core.VMResult) float64 { return v.MissRate() / iso.MissRate() })
+}
+
+// heterogeneousSweep runs Mixes 1-9 on shared-4-way under the given
+// policies, grouping results per (mix, workload).
+func (r *Runner) heterogeneousSweep(id, title string, policies []sched.Policy, groupSizes []int,
+	value func(v core.VMResult, iso, iso4aff core.VMResult) float64) (*Table, error) {
+
+	t := &Table{ID: id, Title: title, RowHead: "mix/workload"}
+	for _, gs := range groupSizes {
+		for _, p := range policies {
+			label := p.String()
+			if len(groupSizes) > 1 {
+				label = fmt.Sprintf("shared-%d/%s", gs, p)
+			}
+			t.Columns = append(t.Columns, label)
+		}
+	}
+	mixes := HeterogeneousMixes()
+	type job struct {
+		mi, gi, pi int
+	}
+	var jobs []job
+	for mi := range mixes {
+		for gi := range groupSizes {
+			for pi := range policies {
+				jobs = append(jobs, job{mi, gi, pi})
+			}
+		}
+	}
+	err := r.parallelDo(len(jobs), func(i int) error {
+		j := jobs[i]
+		_, e := r.RunMix(mixes[j.mi], groupSizes[j.gi], policies[j.pi])
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, mix := range mixes {
+		// One row per distinct workload in the mix, averaging instances.
+		seen := map[workload.Class]bool{}
+		for _, class := range mix.Classes {
+			if seen[class] {
+				continue
+			}
+			seen[class] = true
+			iso, err := r.IsolationBaseline(class)
+			if err != nil {
+				return nil, err
+			}
+			iso4, err := r.IsolationShared4Affinity(class)
+			if err != nil {
+				return nil, err
+			}
+			var vals []float64
+			for _, gs := range groupSizes {
+				for _, p := range policies {
+					res, err := r.RunMix(mix, gs, p)
+					if err != nil {
+						return nil, err
+					}
+					sum, n := 0.0, 0
+					for _, v := range res.ByClass(class) {
+						sum += value(v, iso, iso4)
+						n++
+					}
+					vals = append(vals, sum/float64(n))
+				}
+			}
+			t.Add(fmt.Sprintf("%s %s", mix.ID, class), vals...)
+		}
+	}
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: heterogeneous-mix performance relative to
+// isolation, for affinity and round-robin on shared-4-way caches.
+func (r *Runner) Fig8() (*Table, error) {
+	t, err := r.heterogeneousSweep("F8", "Heterogeneous mixes: normalized runtime vs isolation (shared-4-way)",
+		isoPolicies, []int{4},
+		func(v, iso, _ core.VMResult) float64 { return v.CyclesPerTx / iso.CyclesPerTx })
+	if err != nil {
+		return nil, err
+	}
+	// The paper also plots the isolation shared-4 references.
+	for _, class := range workload.All() {
+		if class == workload.SPECweb {
+			continue // SPECweb joins no heterogeneous mixes
+		}
+		iso, err := r.IsolationBaseline(class)
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		for _, p := range isoPolicies {
+			res, err := r.RunIsolation(class, 4, p)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, res.VMs[0].CyclesPerTx/iso.CyclesPerTx)
+		}
+		t.Add(fmt.Sprintf("isolation %s", class), vals...)
+	}
+	t.Note("paper: TPC-H is largely unaffected by co-runners; SPECjbb degrades most")
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: heterogeneous-mix miss rates relative to
+// isolation.
+func (r *Runner) Fig9() (*Table, error) {
+	t, err := r.heterogeneousSweep("F9", "Heterogeneous mixes: LLC miss rate vs isolation (shared-4-way)",
+		isoPolicies, []int{4},
+		func(v, iso, _ core.VMResult) float64 { return v.MissRate() / iso.MissRate() })
+	if err != nil {
+		return nil, err
+	}
+	t.Note("paper: SPECjbb's miss rate grows sharply with TPC-W (mixes 7-9); TPC-H/affinity barely moves")
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: heterogeneous-mix miss latencies normalized
+// to isolation with affinity scheduling on shared-4-way caches.
+func (r *Runner) Fig10() (*Table, error) {
+	t, err := r.heterogeneousSweep("F10", "Heterogeneous mixes: miss latency vs isolation/affinity/shared-4",
+		isoPolicies, []int{4},
+		func(v, _, iso4 core.VMResult) float64 { return v.AvgMissLatency() / iso4.AvgMissLatency() })
+	if err != nil {
+		return nil, err
+	}
+	t.Note("paper: SPECjbb's latency is least sensitive to co-runners, TPC-W's the most")
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: the degree-of-sharing sweep for the
+// heterogeneous mixes under affinity scheduling — miss latency for
+// shared-2/-4/-8 LLCs, normalized to shared-4 isolation.
+func (r *Runner) Fig11() (*Table, error) {
+	t, err := r.heterogeneousSweep("F11", "Heterogeneous mixes: miss latency vs sharing degree (affinity)",
+		[]sched.Policy{sched.Affinity}, []int{2, 4, 8},
+		func(v, _, iso4 core.VMResult) float64 { return v.AvgMissLatency() / iso4.AvgMissLatency() })
+	if err != nil {
+		return nil, err
+	}
+	t.Note("paper: TPC-H does best at shared-4 (a bank to itself); shared-8 flexibility helps SPECjbb")
+	return t, nil
+}
+
+// Fig12 reproduces Figure 12: the fraction of resident LLC lines
+// replicated in two or more banks for the homogeneous mixes, per policy,
+// with the private configuration as the maximum-replication bound.
+func (r *Runner) Fig12() (*Table, error) {
+	policies := []sched.Policy{sched.RoundRobin, sched.RRAffinity, sched.Random}
+	t := &Table{
+		ID:      "F12",
+		Title:   "Homogeneous mixes: replicated fraction of LLC lines (snapshot)",
+		RowHead: "mix",
+	}
+	for _, p := range policies {
+		t.Columns = append(t.Columns, p.String())
+	}
+	t.Columns = append(t.Columns, "private (max)")
+	mixes := HomogeneousMixes()
+	err := r.parallelDo(len(mixes)*(len(policies)+1), func(i int) error {
+		mix := mixes[i/(len(policies)+1)]
+		pi := i % (len(policies) + 1)
+		if pi == len(policies) {
+			_, e := r.RunMix(mix, 1, sched.Affinity)
+			return e
+		}
+		_, e := r.RunMix(mix, 4, policies[pi])
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, mix := range mixes {
+		var vals []float64
+		for _, p := range policies {
+			res, err := r.RunMix(mix, 4, p)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, res.Snapshot.ReplicationFraction())
+		}
+		priv, err := r.RunMix(mix, 1, sched.Affinity)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, priv.Snapshot.ReplicationFraction())
+		t.Add(fmt.Sprintf("%s %s", mix.ID, mix.Classes[0]), vals...)
+	}
+	t.Note("paper: round robin replicates most; SPECjbb and SPECweb replicate most among workloads")
+	return t, nil
+}
+
+// Fig13 reproduces Figure 13: per-workload occupancy of each shared-4-way
+// LLC bank for the heterogeneous mixes under round-robin scheduling.
+func (r *Runner) Fig13() (*Table, error) {
+	t := &Table{
+		ID:      "F13",
+		Title:   "Heterogeneous mixes: LLC occupancy share per VM (round robin, shared-4-way)",
+		RowHead: "mix/bank",
+		Columns: []string{"vm0", "vm1", "vm2", "vm3"},
+	}
+	mixes := HeterogeneousMixes()
+	err := r.parallelDo(len(mixes), func(i int) error {
+		_, e := r.RunMix(mixes[i], 4, sched.RoundRobin)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, mix := range mixes {
+		res, err := r.RunMix(mix, 4, sched.RoundRobin)
+		if err != nil {
+			return nil, err
+		}
+		for g := range res.Snapshot.Occupancy {
+			var vals []float64
+			for v := range mix.Classes {
+				vals = append(vals, res.Snapshot.OccupancyShare(g, v))
+			}
+			t.Add(fmt.Sprintf("%s $%d", mix.ID, g), vals...)
+		}
+		t.Note("%s VMs: 0..3 = %s", mix.ID, mix.Name())
+	}
+	t.Note("paper: TPC-H occupies less than its fair 25%% share; SPECjbb splits evenly against itself")
+	return t, nil
+}
+
+// FigureIDs lists every artifact runner in publication order.
+func FigureIDs() []string {
+	return []string{"T2", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13"}
+}
+
+// RunFigure dispatches an artifact by ID.
+func (r *Runner) RunFigure(id string) (*Table, error) {
+	switch id {
+	case "T2":
+		return r.TableII()
+	case "F2":
+		return r.Fig2()
+	case "F3":
+		return r.Fig3()
+	case "F4":
+		return r.Fig4()
+	case "F5":
+		return r.Fig5()
+	case "F6":
+		return r.Fig6()
+	case "F7":
+		return r.Fig7()
+	case "F8":
+		return r.Fig8()
+	case "F9":
+		return r.Fig9()
+	case "F10":
+		return r.Fig10()
+	case "F11":
+		return r.Fig11()
+	case "F12":
+		return r.Fig12()
+	case "F13":
+		return r.Fig13()
+	}
+	return nil, fmt.Errorf("harness: unknown figure %q", id)
+}

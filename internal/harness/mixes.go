@@ -1,0 +1,108 @@
+// Package harness defines the paper's experiments — Table IV's workload
+// mixes, the isolation baselines of §V, and one runner per table/figure —
+// and formats their outputs as text tables. Everything the evaluation
+// section reports is regenerated through this package.
+package harness
+
+import (
+	"fmt"
+
+	"consim/internal/workload"
+)
+
+// Mix is one consolidated workload combination from Table IV.
+type Mix struct {
+	// ID is the paper's label ("Mix 1".."Mix 9", "Mix A".."Mix D").
+	ID string
+	// Classes lists the four consolidated VMs' workloads.
+	Classes []workload.Class
+}
+
+// Name returns a compact description like "TPC-W(3)+TPC-H(1)".
+func (m Mix) Name() string {
+	counts := map[workload.Class]int{}
+	var order []workload.Class
+	for _, c := range m.Classes {
+		if counts[c] == 0 {
+			order = append(order, c)
+		}
+		counts[c]++
+	}
+	s := ""
+	for i, c := range order {
+		if i > 0 {
+			s += "+"
+		}
+		s += fmt.Sprintf("%s(%d)", c, counts[c])
+	}
+	return s
+}
+
+// Homogeneous reports whether all VMs run the same workload.
+func (m Mix) Homogeneous() bool {
+	for _, c := range m.Classes[1:] {
+		if c != m.Classes[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func rep(c workload.Class, n int) []workload.Class {
+	out := make([]workload.Class, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+func mixOf(id string, parts ...[]workload.Class) Mix {
+	var cs []workload.Class
+	for _, p := range parts {
+		cs = append(cs, p...)
+	}
+	return Mix{ID: id, Classes: cs}
+}
+
+// HeterogeneousMixes returns Table IV's Mixes 1-9.
+func HeterogeneousMixes() []Mix {
+	return []Mix{
+		mixOf("Mix 1", rep(workload.TPCW, 3), rep(workload.TPCH, 1)),
+		mixOf("Mix 2", rep(workload.TPCW, 2), rep(workload.TPCH, 2)),
+		mixOf("Mix 3", rep(workload.TPCW, 1), rep(workload.TPCH, 3)),
+		mixOf("Mix 4", rep(workload.SPECjbb, 3), rep(workload.TPCH, 1)),
+		mixOf("Mix 5", rep(workload.SPECjbb, 2), rep(workload.TPCH, 2)),
+		mixOf("Mix 6", rep(workload.SPECjbb, 1), rep(workload.TPCH, 3)),
+		mixOf("Mix 7", rep(workload.SPECjbb, 3), rep(workload.TPCW, 1)),
+		mixOf("Mix 8", rep(workload.SPECjbb, 2), rep(workload.TPCW, 2)),
+		mixOf("Mix 9", rep(workload.SPECjbb, 1), rep(workload.TPCW, 3)),
+	}
+}
+
+// HomogeneousMixes returns Table IV's Mixes A-D (four copies of one
+// workload; SPECweb joins only homogeneous mixes, matching the paper's
+// driver limitation).
+func HomogeneousMixes() []Mix {
+	return []Mix{
+		mixOf("Mix A", rep(workload.TPCW, 4)),
+		mixOf("Mix B", rep(workload.TPCH, 4)),
+		mixOf("Mix C", rep(workload.SPECjbb, 4)),
+		mixOf("Mix D", rep(workload.SPECweb, 4)),
+	}
+}
+
+// AllMixes returns heterogeneous then homogeneous mixes.
+func AllMixes() []Mix {
+	return append(HeterogeneousMixes(), HomogeneousMixes()...)
+}
+
+// MixByID finds a mix by its Table IV label ("1".."9", "A".."D", or the
+// full "Mix X" form).
+func MixByID(id string) (Mix, error) {
+	for _, m := range AllMixes() {
+		if m.ID == id || m.ID == "Mix "+id {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("harness: unknown mix %q", id)
+}

@@ -1,0 +1,264 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"consim/internal/core"
+	"consim/internal/sched"
+	"consim/internal/sim"
+	"consim/internal/stats"
+	vmstats "consim/internal/vm"
+	"consim/internal/workload"
+)
+
+// Options control the simulation scale for a whole experiment suite.
+type Options struct {
+	// Scale divides footprints and cache capacities (1 = paper scale).
+	Scale int
+	// WarmupRefs / MeasureRefs are per-core reference budgets.
+	WarmupRefs  uint64
+	MeasureRefs uint64
+	// SnapshotRefs positions the Figure 12/13 snapshot inside the
+	// measurement window (0 = at the end).
+	SnapshotRefs uint64
+	// Seed drives all randomness.
+	Seed uint64
+	// Parallel runs independent simulations on this many goroutines
+	// (0 = 1). Each simulation is single-threaded and deterministic.
+	Parallel int
+	// Replicates runs each configuration this many times with perturbed
+	// seeds and reports merged metrics, per the Alameldeen-Wood
+	// statistical simulation methodology the paper's §V adopts (0/1 =
+	// single run). Replicate-to-replicate variability is exposed through
+	// Result.CptCV.
+	Replicates int
+}
+
+// DefaultOptions returns full-scale settings matching the calibration
+// runs recorded in EXPERIMENTS.md.
+func DefaultOptions() Options {
+	return Options{
+		Scale:       1,
+		WarmupRefs:  600_000,
+		MeasureRefs: 1_000_000,
+		Seed:        1,
+	}
+}
+
+// runKey identifies a memoizable simulation.
+type runKey struct {
+	mixID     string
+	isolated  workload.Class
+	isoOnly   bool
+	groupSize int
+	policy    sched.Policy
+}
+
+// Runner executes and memoizes simulations: the figure runners share
+// isolation baselines heavily, and sweeps revisit configurations.
+type Runner struct {
+	opt Options
+
+	mu    sync.Mutex
+	cache map[runKey]core.Result
+}
+
+// NewRunner returns a Runner with the given options.
+func NewRunner(opt Options) *Runner {
+	if opt.Scale <= 0 {
+		opt.Scale = 1
+	}
+	if opt.WarmupRefs == 0 {
+		opt.WarmupRefs = DefaultOptions().WarmupRefs
+	}
+	if opt.MeasureRefs == 0 {
+		opt.MeasureRefs = DefaultOptions().MeasureRefs
+	}
+	return &Runner{opt: opt, cache: make(map[runKey]core.Result)}
+}
+
+// Options returns the runner's options.
+func (r *Runner) Options() Options { return r.opt }
+
+func (r *Runner) config(specs []workload.Spec, groupSize int, policy sched.Policy) core.Config {
+	cfg := core.DefaultConfig(specs...)
+	cfg.GroupSize = groupSize
+	cfg.Policy = policy
+	cfg.Scale = r.opt.Scale
+	cfg.Seed = r.opt.Seed
+	cfg.WarmupRefs = r.opt.WarmupRefs
+	cfg.MeasureRefs = r.opt.MeasureRefs
+	cfg.SnapshotRefs = r.opt.SnapshotRefs
+	return cfg
+}
+
+func (r *Runner) run(key runKey, cfg core.Config) (core.Result, error) {
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	reps := r.opt.Replicates
+	if reps < 1 {
+		reps = 1
+	}
+	results := make([]core.Result, 0, reps)
+	for i := 0; i < reps; i++ {
+		repCfg := cfg
+		repCfg.Seed = cfg.Seed + uint64(i)*0x9e37
+		sys, err := core.NewSystem(repCfg)
+		if err != nil {
+			return core.Result{}, err
+		}
+		res, err := sys.Run()
+		if err != nil {
+			return core.Result{}, err
+		}
+		results = append(results, res)
+	}
+	res := mergeResults(results)
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// mergeResults folds replicated runs into one Result: counters are
+// summed, window cycles averaged, cycles-per-transaction recomputed as
+// the ratio of means, and the per-VM coefficient of variation of
+// cycles-per-transaction recorded (the §V variability indicator).
+func mergeResults(results []core.Result) core.Result {
+	if len(results) == 1 {
+		return results[0]
+	}
+	merged := results[0]
+	merged.Replicates = len(results)
+	merged.CptCV = make([]float64, len(merged.VMs))
+	var cycles stats.Sample
+	for _, res := range results {
+		cycles.Add(float64(res.Cycles))
+	}
+	for v := range merged.VMs {
+		var cpt, touched stats.Sample
+		var sum vmstats.Stats
+		for _, res := range results {
+			cpt.Add(res.VMs[v].CyclesPerTx)
+			touched.Add(float64(res.VMs[v].TouchedBlocks))
+			addStats(&sum, res.VMs[v].Stats)
+		}
+		merged.VMs[v].Stats = sum
+		merged.VMs[v].CyclesPerTx = cpt.Mean()
+		merged.VMs[v].Transactions = float64(sum.Refs) / float64(results[0].Config.Workloads[v].Scaled(results[0].Config.Scale).RefsPerTx)
+		merged.VMs[v].TouchedBlocks = uint64(touched.Mean())
+		merged.CptCV[v] = cpt.CV()
+	}
+	merged.Cycles = sim.Cycle(cycles.Mean())
+	return merged
+}
+
+// addStats accumulates b into a, field by field.
+func addStats(a *vmstats.Stats, b vmstats.Stats) {
+	a.Refs += b.Refs
+	a.PrivMisses += b.PrivMisses
+	a.LLCMisses += b.LLCMisses
+	a.C2CClean += b.C2CClean
+	a.C2CDirty += b.C2CDirty
+	a.MemReads += b.MemReads
+	a.Invalidations += b.Invalidations
+	a.Upgrades += b.Upgrades
+	a.MissLatSum += b.MissLatSum
+	a.NetCycles += b.NetCycles
+}
+
+// RunIsolation simulates one 4-thread workload alone on the chip (12
+// cores idle) under the given LLC grouping and policy.
+func (r *Runner) RunIsolation(class workload.Class, groupSize int, policy sched.Policy) (core.Result, error) {
+	spec := workload.Specs()[class]
+	key := runKey{isolated: class, isoOnly: true, groupSize: groupSize, policy: policy}
+	return r.run(key, r.config([]workload.Spec{spec}, groupSize, policy))
+}
+
+// RunMix simulates a Table IV mix (four 4-thread VMs, machine at
+// capacity) under the given LLC grouping and policy.
+func (r *Runner) RunMix(mix Mix, groupSize int, policy sched.Policy) (core.Result, error) {
+	specs := make([]workload.Spec, len(mix.Classes))
+	all := workload.Specs()
+	for i, c := range mix.Classes {
+		specs[i] = all[c]
+	}
+	key := runKey{mixID: mix.ID, groupSize: groupSize, policy: policy}
+	return r.run(key, r.config(specs, groupSize, policy))
+}
+
+// IsolationBaseline returns the paper's §V reference point for a
+// workload: isolated, four cores, the full LLC as one shared cache.
+func (r *Runner) IsolationBaseline(class workload.Class) (core.VMResult, error) {
+	res, err := r.RunIsolation(class, core.DefaultCores, sched.Affinity)
+	if err != nil {
+		return core.VMResult{}, err
+	}
+	return res.VMs[0], nil
+}
+
+// IsolationShared4Affinity returns the isolation reference used by the
+// miss-latency figures: affinity scheduling on shared-4-way caches.
+func (r *Runner) IsolationShared4Affinity(class workload.Class) (core.VMResult, error) {
+	res, err := r.RunIsolation(class, 4, sched.Affinity)
+	if err != nil {
+		return core.VMResult{}, err
+	}
+	return res.VMs[0], nil
+}
+
+// parallelDo runs fn(i) for i in [0, n) on up to opt.Parallel goroutines.
+// Errors abort with the first failure.
+func (r *Runner) parallelDo(n int, fn func(int) error) error {
+	workers := r.opt.Parallel
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	type res struct {
+		i   int
+		err error
+	}
+	sem := make(chan struct{}, workers)
+	out := make(chan res, n)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem }()
+			out <- res{i, fn(i)}
+		}(i)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if rr := <-out; rr.err != nil && first == nil {
+			first = rr.err
+		}
+	}
+	return first
+}
+
+// groupSizeName labels an LLC grouping the way the paper's figures do.
+func groupSizeName(groupSize int) string {
+	switch groupSize {
+	case 1:
+		return "private"
+	case core.DefaultCores:
+		return "shared"
+	case 8:
+		return "2-LL$ (shared-8)"
+	case 2:
+		return "8-LL$ (shared-2)"
+	default:
+		return fmt.Sprintf("%d-LL$ (shared-%d)", core.DefaultCores/groupSize, groupSize)
+	}
+}

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a figure or table's data in row/column form, ready to print
+// as text, markdown or CSV. Values are the plotted quantity (normalized
+// runtime, miss rate, latency, ...).
+type Table struct {
+	ID      string // experiment ID, e.g. "F8"
+	Title   string
+	RowHead string // header over the row-label column
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one labeled series of values, one per column.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Add appends a row.
+func (t *Table) Add(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// Note appends an explanatory footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Get returns the value at (rowLabel, column), for tests.
+func (t *Table) Get(rowLabel, column string) (float64, bool) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == column {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel && ci < len(r.Values) {
+			return r.Values[ci], true
+		}
+	}
+	return 0, false
+}
+
+// Text renders the table with aligned columns.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	width := len(t.RowHead)
+	for _, r := range t.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, t.RowHead)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %12s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", width+2, r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " %12.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + t.RowHead + " |")
+	for _, c := range t.Columns {
+		b.WriteString(" " + c + " |")
+	}
+	b.WriteString("\n|---|")
+	for range t.Columns {
+		b.WriteString("---:|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString("| " + r.Label + " |")
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " %.4f |", v)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "*%s*\n\n", n)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.RowHead))
+	for _, c := range t.Columns {
+		b.WriteString("," + csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(csvEscape(r.Label))
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%.6g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Bars renders the table as horizontal ASCII bar charts, one block per
+// column, scaled to the column's maximum. Handy for eyeballing a figure's
+// shape in a terminal.
+func (t *Table) Bars(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	labelW := len(t.RowHead)
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	for ci, col := range t.Columns {
+		max := 0.0
+		for _, r := range t.Rows {
+			if ci < len(r.Values) && r.Values[ci] > max {
+				max = r.Values[ci]
+			}
+		}
+		fmt.Fprintf(&b, "\n[%s]\n", col)
+		for _, r := range t.Rows {
+			if ci >= len(r.Values) {
+				continue
+			}
+			v := r.Values[ci]
+			n := 0
+			if max > 0 {
+				n = int(v / max * float64(width))
+			}
+			fmt.Fprintf(&b, "%-*s %10.4f %s\n", labelW+1, r.Label, v, strings.Repeat("#", n))
+		}
+	}
+	return b.String()
+}

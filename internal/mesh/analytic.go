@@ -1,0 +1,140 @@
+package mesh
+
+import "consim/internal/sim"
+
+// Model is the fast analytic mesh model used inside the consolidation
+// sweeps. It charges the same unloaded latency as the flit-level Network
+// ((hops+1)*PipeStages + flits-1; asserted equal by tests) and models
+// contention with a per-link utilization estimator: each link tracks an
+// exponentially-weighted moving average of its offered flit rate, and
+// messages crossing a loaded link pay a queueing delay that grows toward
+// saturation.
+//
+// A reservation-calendar model was deliberately rejected: request paths
+// reserve link time at *future* instants (a memory response leaves the
+// controller ~150 cycles after the request routes), and a scalar
+// busy-until pointer cannot represent the idle gaps before those
+// reservations, which serializes logically-concurrent transfers and
+// inflates waits by orders of magnitude. The utilization model keeps
+// contention sensitivity (hot links slow down, per the paper's §V-A
+// interconnect observations) while staying gap-accurate and O(1).
+type Model struct {
+	g    Geometry
+	pipe sim.Cycle
+
+	last []([numPorts]sim.Cycle)
+	util []([numPorts]float64)
+
+	// Transfers counts routed messages; WaitCycles accumulates link
+	// queueing, so WaitCycles/Transfers exposes interconnect contention
+	// in reports.
+	Transfers  uint64
+	WaitCycles sim.Cycle
+	HopsSum    uint64
+
+	// LinkWait, when non-nil, accumulates wait per (node, port) for
+	// diagnostics.
+	LinkWait [][numPorts]sim.Cycle
+}
+
+// utilTau is the EWMA time constant in cycles: long enough to smooth
+// per-message burstiness, short enough to track phase changes.
+const utilTau = 1024.0
+
+// utilCap bounds the estimated utilization below saturation so the
+// queueing term stays finite.
+const utilCap = 0.95
+
+// NewModel returns an analytic model over g with the given router
+// pipeline depth.
+func NewModel(g Geometry, pipeStages int) *Model {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	if pipeStages <= 0 {
+		panic("mesh: non-positive pipeline depth")
+	}
+	return &Model{
+		g:    g,
+		pipe: sim.Cycle(pipeStages),
+		last: make([][numPorts]sim.Cycle, g.Nodes()),
+		util: make([][numPorts]float64, g.Nodes()),
+	}
+}
+
+// Geometry returns the modeled mesh shape.
+func (m *Model) Geometry() Geometry { return m.g }
+
+// Latency routes one message of the given flit count from src to dst
+// starting at now, updating per-link load along the DOR path, and returns
+// the cycle at which the tail arrives at dst.
+func (m *Model) Latency(now sim.Cycle, src, dst, flits int) sim.Cycle {
+	if flits <= 0 {
+		flits = 1
+	}
+	m.Transfers++
+	t := now
+	cur := src
+	for cur != dst {
+		p := m.g.route(cur, dst)
+
+		// Update the link's offered-rate EWMA with this message.
+		dt := float64(1)
+		if t > m.last[cur][p] {
+			dt = float64(t - m.last[cur][p])
+			m.last[cur][p] = t
+		}
+		u := m.util[cur][p]*utilTau/(utilTau+dt) + float64(flits)/(utilTau+dt)
+		m.util[cur][p] = u
+		if u > utilCap {
+			u = utilCap
+		}
+
+		// M/D/1-flavoured queueing delay: service time is the message's
+		// serialization latency; delay grows as rho/(1-rho).
+		wait := sim.Cycle(u / (1 - u) * float64(flits) * 0.5)
+		m.WaitCycles += wait
+		if m.LinkWait != nil {
+			m.LinkWait[cur][p] += wait
+		}
+
+		t += wait + m.pipe
+		cur = m.g.neighbor(cur, p)
+		m.HopsSum++
+	}
+	// Ejection through the destination router pipeline plus tail
+	// serialization.
+	return t + m.pipe + sim.Cycle(flits-1)
+}
+
+// Unloaded returns the zero-contention latency between src and dst for a
+// packet of the given flit count, without touching the load estimators.
+func (m *Model) Unloaded(src, dst, flits int) sim.Cycle {
+	if flits <= 0 {
+		flits = 1
+	}
+	h := sim.Cycle(m.g.Hops(src, dst))
+	return (h+1)*m.pipe + sim.Cycle(flits-1)
+}
+
+// AvgWait returns mean link-queueing cycles per transfer.
+func (m *Model) AvgWait() float64 {
+	if m.Transfers == 0 {
+		return 0
+	}
+	return float64(m.WaitCycles) / float64(m.Transfers)
+}
+
+// AvgHops returns the mean hop count per transfer.
+func (m *Model) AvgHops() float64 {
+	if m.Transfers == 0 {
+		return 0
+	}
+	return float64(m.HopsSum) / float64(m.Transfers)
+}
+
+// ResetStats zeroes the contention counters (load estimators persist;
+// they decay naturally as time advances).
+func (m *Model) ResetStats() {
+	m.Transfers, m.WaitCycles, m.HopsSum = 0, 0, 0
+}

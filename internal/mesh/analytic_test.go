@@ -1,0 +1,124 @@
+package mesh
+
+import (
+	"testing"
+
+	"consim/internal/sim"
+)
+
+func model4() *Model {
+	return NewModel(Geometry{Width: 4, Height: 4}, 3)
+}
+
+func TestModelUnloadedFormula(t *testing.T) {
+	m := model4()
+	// (hops+1)*pipe + flits-1.
+	if got := m.Unloaded(0, 0, 1); got != 3 {
+		t.Errorf("local 1-flit = %d", got)
+	}
+	if got := m.Unloaded(0, 15, 1); got != 21 {
+		t.Errorf("6-hop 1-flit = %d", got)
+	}
+	if got := m.Unloaded(0, 15, 5); got != 25 {
+		t.Errorf("6-hop 5-flit = %d", got)
+	}
+}
+
+func TestModelLatencyUnloadedMatches(t *testing.T) {
+	m := model4()
+	for dst := 0; dst < 16; dst++ {
+		fresh := model4()
+		got := fresh.Latency(100, 0, dst, 5) - 100
+		if want := m.Unloaded(0, dst, 5); got != want {
+			t.Errorf("dst %d: Latency %d != Unloaded %d", dst, got, want)
+		}
+	}
+}
+
+func TestModelContentionGrowsWithBursts(t *testing.T) {
+	m := model4()
+	// A sustained burst over the same path must drive waits above zero
+	// and push later transfers past the unloaded latency.
+	var last sim.Cycle
+	for i := 0; i < 300; i++ {
+		last = m.Latency(sim.Cycle(i), 0, 3, 5) - sim.Cycle(i)
+	}
+	if last <= m.Unloaded(0, 3, 5) {
+		t.Errorf("burst latency %d not above unloaded %d", last, m.Unloaded(0, 3, 5))
+	}
+	if m.WaitCycles == 0 {
+		t.Error("wait cycles not recorded")
+	}
+}
+
+func TestModelDisjointPathsDoNotInterfere(t *testing.T) {
+	m := model4()
+	for i := 0; i < 100; i++ {
+		m.Latency(sim.Cycle(i), 0, 3, 5) // hammer row 0
+	}
+	b := m.Latency(100, 12, 15, 5) - 100 // row 3 untouched
+	if b != m.Unloaded(12, 15, 5) {
+		t.Errorf("disjoint rows interfered: %d vs %d", b, m.Unloaded(12, 15, 5))
+	}
+}
+
+func TestModelLoadDecays(t *testing.T) {
+	m := model4()
+	for i := 0; i < 300; i++ {
+		m.Latency(sim.Cycle(i), 0, 3, 5)
+	}
+	// Far in the future the estimator has decayed; latency returns to
+	// unloaded.
+	t2 := m.Latency(1_000_000, 0, 3, 5) - 1_000_000
+	if t2 != m.Unloaded(0, 3, 5) {
+		t.Errorf("stale load did not decay: %d vs %d", t2, m.Unloaded(0, 3, 5))
+	}
+}
+
+func TestModelStats(t *testing.T) {
+	m := model4()
+	m.Latency(0, 0, 15, 1) // 6 hops
+	m.Latency(0, 5, 6, 1)  // 1 hop
+	if m.Transfers != 2 {
+		t.Errorf("Transfers = %d", m.Transfers)
+	}
+	if m.AvgHops() != 3.5 {
+		t.Errorf("AvgHops = %v", m.AvgHops())
+	}
+	m.ResetStats()
+	if m.Transfers != 0 || m.AvgHops() != 0 || m.AvgWait() != 0 {
+		t.Error("ResetStats incomplete")
+	}
+}
+
+func TestModelZeroFlitsClamped(t *testing.T) {
+	m := model4()
+	if got := m.Latency(0, 0, 1, 0); got != m.Unloaded(0, 1, 1) {
+		t.Errorf("zero-flit latency = %d", got)
+	}
+}
+
+func TestModelPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad pipeline depth accepted")
+		}
+	}()
+	NewModel(Geometry{Width: 4, Height: 4}, 0)
+}
+
+func TestModelLoadLatencyCurveMonotone(t *testing.T) {
+	// Increasing offered load on a fixed bisection must not decrease
+	// mean latency.
+	mean := func(packets int) float64 {
+		m := model4()
+		var sum sim.Cycle
+		for i := 0; i < packets; i++ {
+			sum += m.Latency(0, 0, 3, 5)
+		}
+		return float64(sum) / float64(packets)
+	}
+	if mean(50) < mean(5) {
+		t.Error("latency decreased with load")
+	}
+}

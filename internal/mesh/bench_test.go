@@ -1,0 +1,34 @@
+package mesh
+
+import (
+	"testing"
+
+	"consim/internal/sim"
+)
+
+// BenchmarkFlitLevelTick measures the detailed network under moderate
+// uniform-random load (cost per simulated cycle).
+func BenchmarkFlitLevelTick(b *testing.B) {
+	n := NewNetwork(DefaultNetConfig(16))
+	r := sim.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4 == 0 {
+			n.Inject(r.Intn(16), r.Intn(16), 5)
+		}
+		n.Tick()
+	}
+}
+
+// BenchmarkAnalyticLatency measures the fast model's per-message cost
+// (the hot path of every consolidation sweep).
+func BenchmarkAnalyticLatency(b *testing.B) {
+	m := NewModel(Geometry{Width: 4, Height: 4}, 3)
+	r := sim.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Latency(sim.Cycle(i), r.Intn(16), r.Intn(16), 5)
+	}
+}

@@ -1,0 +1,182 @@
+package mesh
+
+import (
+	"testing"
+
+	"consim/internal/sim"
+)
+
+func net4() *Network {
+	return NewNetwork(DefaultNetConfig(16))
+}
+
+func TestSinglePacketDelivery(t *testing.T) {
+	n := net4()
+	p := n.Inject(0, 15, 1)
+	if !n.Drain(1000) {
+		t.Fatal("packet not delivered")
+	}
+	if p.Delivered == 0 {
+		t.Fatal("delivery time not stamped")
+	}
+	if n.DeliveredPkts != 1 {
+		t.Fatalf("DeliveredPkts = %d", n.DeliveredPkts)
+	}
+}
+
+// TestUnloadedLatencyMatchesAnalyticModel is the validation the DESIGN.md
+// substitution note promises: the analytic model's unloaded latency must
+// equal the flit-level network's, for every hop count and several packet
+// sizes.
+func TestUnloadedLatencyMatchesAnalyticModel(t *testing.T) {
+	for _, flits := range []int{1, 2, 5} {
+		for dst := 0; dst < 16; dst++ {
+			if dst == 0 {
+				continue
+			}
+			n := net4()
+			m := NewModel(n.Config().Geometry, n.Config().PipeStages)
+			p := n.Inject(0, dst, flits)
+			if !n.Drain(1000) {
+				t.Fatalf("dst %d: not delivered", dst)
+			}
+			got := p.Delivered - p.Injected
+			want := m.Unloaded(0, dst, flits)
+			if got != want {
+				t.Errorf("dst %d flits %d: flit-level %d cycles, analytic %d", dst, flits, got, want)
+			}
+		}
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	n := net4()
+	p := n.Inject(5, 5, 3)
+	if !n.Drain(100) {
+		t.Fatal("local packet stuck")
+	}
+	if p.Delivered-p.Injected == 0 {
+		t.Error("local delivery took zero cycles")
+	}
+}
+
+func TestAllPairsDeliver(t *testing.T) {
+	n := net4()
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			n.Inject(s, d, 2)
+		}
+	}
+	if !n.Drain(20000) {
+		t.Fatalf("all-pairs traffic did not drain: %d/%d", n.DeliveredPkts, n.InjectedPkts)
+	}
+}
+
+func TestHeavyRandomTrafficDrains(t *testing.T) {
+	// Deadlock check: a correct VC/DOR mesh always drains.
+	n := net4()
+	r := sim.NewRNG(99)
+	for i := 0; i < 2000; i++ {
+		n.Inject(r.Intn(16), r.Intn(16), 1+r.Intn(5))
+		if i%10 == 0 {
+			n.Tick()
+		}
+	}
+	if !n.Drain(200000) {
+		t.Fatalf("random traffic deadlocked: %d/%d delivered", n.DeliveredPkts, n.InjectedPkts)
+	}
+}
+
+func TestCreditsNeverExceedDepth(t *testing.T) {
+	n := net4()
+	r := sim.NewRNG(7)
+	depth := n.Config().BufDepth
+	for i := 0; i < 500; i++ {
+		n.Inject(r.Intn(16), r.Intn(16), 3)
+	}
+	for tick := 0; tick < 5000; tick++ {
+		n.Tick()
+		for _, rt := range n.routers {
+			for p := Port(0); p < numPorts; p++ {
+				for v := 0; v < n.Config().VCs; v++ {
+					if c := rt.credits[p][v]; c < 0 || c > depth {
+						t.Fatalf("credit %d out of [0,%d] at router %d", c, depth, rt.id)
+					}
+					if len(rt.in[p][v].buf) > depth {
+						t.Fatalf("buffer overflow at router %d: %d flits", rt.id, len(rt.in[p][v].buf))
+					}
+				}
+			}
+		}
+		if n.DeliveredPkts == n.InjectedPkts {
+			return
+		}
+	}
+	t.Fatal("traffic did not drain during credit check")
+}
+
+func TestPerFlowOrdering(t *testing.T) {
+	// Packets between the same (src,dst) with equal size must eject in
+	// injection order (same path, FIFO VCs, no overtaking across a flow
+	// on one VC — weaker: delivery times strictly ordered per flow when
+	// injected sequentially).
+	n := net4()
+	var pkts []*Packet
+	for i := 0; i < 10; i++ {
+		pkts = append(pkts, n.Inject(2, 13, 1))
+		n.Tick() // serialize injections
+	}
+	if !n.Drain(10000) {
+		t.Fatal("flow did not drain")
+	}
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].Delivered < pkts[i-1].Delivered {
+			t.Errorf("packet %d overtook %d (%d < %d)", i, i-1, pkts[i].Delivered, pkts[i-1].Delivered)
+		}
+	}
+}
+
+func TestAvgLatencyAccounting(t *testing.T) {
+	n := net4()
+	n.Inject(0, 1, 1)
+	n.Inject(0, 2, 1)
+	n.Drain(1000)
+	if n.AvgLatency() <= 0 {
+		t.Error("AvgLatency not positive after deliveries")
+	}
+}
+
+func TestLatencyGrowsUnderLoad(t *testing.T) {
+	unloaded := func() float64 {
+		n := net4()
+		n.Inject(0, 15, 5)
+		n.Drain(1000)
+		return n.AvgLatency()
+	}()
+	loaded := func() float64 {
+		n := net4()
+		r := sim.NewRNG(3)
+		// Saturating column 0 -> column 3 bisection traffic.
+		for i := 0; i < 400; i++ {
+			n.Inject(r.Intn(4)*4, r.Intn(4)*4+3, 5)
+		}
+		n.Drain(100000)
+		return n.AvgLatency()
+	}()
+	if loaded <= unloaded {
+		t.Errorf("no queueing visible: loaded %.1f <= unloaded %.1f", loaded, unloaded)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	bad := NetConfig{Geometry: Geometry{Width: 4, Height: 4}}
+	if bad.Validate() == nil {
+		t.Error("zero VCs accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewNetwork with bad config did not panic")
+		}
+	}()
+	NewNetwork(bad)
+}

@@ -1,0 +1,264 @@
+package mesh
+
+import "consim/internal/sim"
+
+// bufFlit is one buffered flit: packet identity, flit index within the
+// packet (0 = head, Flits-1 = tail), and the earliest cycle it may
+// traverse the switch (models the RC + speculative VA/SA pipeline
+// stages).
+type bufFlit struct {
+	pkt     *Packet
+	idx     int
+	readyAt sim.Cycle
+}
+
+// vc is one input virtual channel: a FIFO of flits plus the route and
+// output-VC allocation of the packet currently at its head.
+type vc struct {
+	buf    []bufFlit
+	route  Port
+	outVC  int
+	routed bool
+}
+
+func (v *vc) head() *bufFlit {
+	if len(v.buf) == 0 {
+		return nil
+	}
+	return &v.buf[0]
+}
+
+// pop removes the head flit, preserving the slice's backing capacity.
+func (v *vc) pop() bufFlit {
+	f := v.buf[0]
+	copy(v.buf, v.buf[1:])
+	v.buf = v.buf[:len(v.buf)-1]
+	return f
+}
+
+// full reports whether the buffer holds depth flits.
+func (v *vc) full(depth int) bool { return len(v.buf) >= depth }
+
+// grant records one switch-allocation winner for the traverse phase.
+type grant struct {
+	inPort  Port
+	inVC    int
+	outPort Port
+	outVC   int
+}
+
+// injState tracks the packet currently being serialized into a local VC.
+type injState struct {
+	pkt *Packet
+	idx int
+	vc  int
+}
+
+type router struct {
+	id  int
+	cfg NetConfig
+
+	in [numPorts][]vc
+	// outAlloc[p][v] is true while output VC v on port p is held by an
+	// in-flight packet.
+	outAlloc [numPorts][]bool
+	// credits[p][v] counts free downstream buffer slots for output VC v
+	// on port p.
+	credits [numPorts][]int
+	// rr is the round-robin arbitration pointer per output port.
+	rr [numPorts]int
+
+	injectQ []*Packet
+	inj     injState
+	injRR   int
+
+	grants []grant
+}
+
+func newRouter(id int, cfg NetConfig) *router {
+	r := &router{id: id, cfg: cfg, inj: injState{vc: -1}}
+	for p := Port(0); p < numPorts; p++ {
+		r.in[p] = make([]vc, cfg.VCs)
+		r.outAlloc[p] = make([]bool, cfg.VCs)
+		r.credits[p] = make([]int, cfg.VCs)
+		for v := range r.in[p] {
+			r.in[p][v].buf = make([]bufFlit, 0, cfg.BufDepth)
+			r.in[p][v].outVC = -1
+			r.credits[p][v] = cfg.BufDepth
+		}
+	}
+	return r
+}
+
+// vcClass returns the [lo, hi) virtual-channel range packet p may use:
+// the full range under DOR, half under O1TURN (split by routing order).
+func (r *router) vcClass(p *Packet) (int, int) {
+	if r.cfg.Routing != O1TURN {
+		return 0, r.cfg.VCs
+	}
+	half := r.cfg.VCs / 2
+	if p.YFirst {
+		return half, r.cfg.VCs
+	}
+	return 0, half
+}
+
+// allocate performs route computation plus speculative VA/SA for this
+// cycle: it picks at most one winning flit per output port (and per input
+// port) based on state visible at the start of the cycle.
+func (r *router) allocate(n *Network) {
+	r.grants = r.grants[:0]
+	g := r.cfg.Geometry
+	var inUsed [numPorts]bool
+
+	for out := Port(0); out < numPorts; out++ {
+		nFlows := int(numPorts) * r.cfg.VCs
+		for k := 0; k < nFlows; k++ {
+			flow := (r.rr[out] + k) % nFlows
+			ip := Port(flow / r.cfg.VCs)
+			iv := flow % r.cfg.VCs
+			if inUsed[ip] {
+				continue
+			}
+			ch := &r.in[ip][iv]
+			f := ch.head()
+			if f == nil || f.readyAt > n.now {
+				continue
+			}
+			// Route computation happens when a packet's head reaches the
+			// front of the VC.
+			if !ch.routed {
+				if f.idx != 0 {
+					// Body flit at head without route: packet state was
+					// released early; cannot happen with correct tail
+					// handling.
+					panic("mesh: body flit without route state")
+				}
+				ch.route = g.routeOrdered(r.id, f.pkt.Dst, f.pkt.YFirst)
+				ch.routed = true
+			}
+			if ch.route != out {
+				continue
+			}
+			if out == Local {
+				// Ejection needs no VC or credit.
+				r.grants = append(r.grants, grant{ip, iv, out, 0})
+				inUsed[ip] = true
+				r.rr[out] = (flow + 1) % nFlows
+				break
+			}
+			// Speculative VA: head flits grab a free output VC in the
+			// same cycle they bid for the switch. Under O1TURN each
+			// routing order owns half the VCs (deadlock freedom).
+			if f.idx == 0 && ch.outVC < 0 {
+				lo, hi := r.vcClass(f.pkt)
+				for v := lo; v < hi; v++ {
+					if !r.outAlloc[out][v] {
+						ch.outVC = v
+						r.outAlloc[out][v] = true
+						break
+					}
+				}
+				if ch.outVC < 0 {
+					continue // VA failed; retry next cycle
+				}
+			}
+			if ch.outVC < 0 || r.credits[out][ch.outVC] == 0 {
+				continue
+			}
+			r.grants = append(r.grants, grant{ip, iv, out, ch.outVC})
+			inUsed[ip] = true
+			r.rr[out] = (flow + 1) % nFlows
+			break
+		}
+	}
+}
+
+// traverse moves this cycle's winning flits across the switch onto the
+// links (arriving downstream next cycle), returns credits upstream, and
+// releases VC allocations at tail flits.
+func (r *router) traverse(n *Network) {
+	g := r.cfg.Geometry
+	for _, gr := range r.grants {
+		ch := &r.in[gr.inPort][gr.inVC]
+		f := ch.pop()
+		tail := f.idx == f.pkt.Flits-1
+
+		// Return a credit to the upstream router now that a buffer slot
+		// freed. Locally injected flits have no upstream.
+		if gr.inPort != Local {
+			up := g.neighbor(r.id, gr.inPort)
+			n.routers[up].credits[opposite(gr.inPort)][gr.inVC]++
+		}
+
+		if gr.outPort == Local {
+			if tail {
+				n.deliver(f.pkt)
+			}
+		} else {
+			down := g.neighbor(r.id, gr.outPort)
+			r.credits[gr.outPort][gr.outVC]--
+			dch := &n.routers[down].in[opposite(gr.outPort)][gr.outVC]
+			dch.buf = append(dch.buf, bufFlit{
+				pkt: f.pkt, idx: f.idx,
+				// Link traversal lands the flit next cycle; it then
+				// spends the first PipeStages-1 cycles in RC and VA/SA
+				// before it may win the switch.
+				readyAt: n.now + 1 + sim.Cycle(r.cfg.PipeStages-1),
+			})
+			if tail {
+				r.outAlloc[gr.outPort][gr.outVC] = false
+			}
+		}
+		if tail {
+			ch.outVC = -1
+			ch.routed = false
+		}
+	}
+}
+
+// inject serializes queued packets into local-port VCs, one flit per
+// cycle per router, modeling source serialization.
+func (r *router) inject(n *Network) {
+	if r.inj.pkt == nil {
+		if len(r.injectQ) == 0 {
+			return
+		}
+		// Claim a local VC in the packet's class that is not mid-packet:
+		// empty, or whose last buffered flit is a tail.
+		lo, hi := r.vcClass(r.injectQ[0])
+		span := hi - lo
+		for k := 0; k < span; k++ {
+			v := lo + (r.injRR+k)%span
+			ch := &r.in[Local][v]
+			if ch.full(r.cfg.BufDepth) {
+				continue
+			}
+			if len(ch.buf) > 0 {
+				last := ch.buf[len(ch.buf)-1]
+				if last.idx != last.pkt.Flits-1 {
+					continue
+				}
+			}
+			r.inj = injState{pkt: r.injectQ[0], idx: 0, vc: v}
+			r.injectQ = r.injectQ[1:]
+			r.injRR = (r.injRR + 1) % r.cfg.VCs
+			break
+		}
+		if r.inj.pkt == nil {
+			return
+		}
+	}
+	ch := &r.in[Local][r.inj.vc]
+	if ch.full(r.cfg.BufDepth) {
+		return // backpressure at the source
+	}
+	ch.buf = append(ch.buf, bufFlit{
+		pkt: r.inj.pkt, idx: r.inj.idx,
+		readyAt: n.now + 1 + sim.Cycle(r.cfg.PipeStages-1),
+	})
+	r.inj.idx++
+	if r.inj.idx == r.inj.pkt.Flits {
+		r.inj = injState{vc: -1}
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+// EventQueue is a binary min-heap of (time, payload) pairs used by the
+// event-driven engine. Payloads are small integers (core IDs, component
+// IDs) so the queue is allocation-free in steady state.
+type EventQueue struct {
+	at  []Cycle
+	val []int
+}
+
+// NewEventQueue returns a queue with capacity hint n.
+func NewEventQueue(n int) *EventQueue {
+	return &EventQueue{
+		at:  make([]Cycle, 0, n),
+		val: make([]int, 0, n),
+	}
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.at) }
+
+// Push schedules value v at time t.
+func (q *EventQueue) Push(t Cycle, v int) {
+	q.at = append(q.at, t)
+	q.val = append(q.val, v)
+	i := len(q.at) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.at[parent] <= q.at[i] {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event. It panics on an empty queue;
+// callers always check Len first.
+func (q *EventQueue) Pop() (Cycle, int) {
+	t, v := q.at[0], q.val[0]
+	last := len(q.at) - 1
+	q.at[0], q.val[0] = q.at[last], q.val[last]
+	q.at, q.val = q.at[:last], q.val[:last]
+	q.siftDown(0)
+	return t, v
+}
+
+// Peek returns the earliest event without removing it.
+func (q *EventQueue) Peek() (Cycle, int) {
+	return q.at[0], q.val[0]
+}
+
+func (q *EventQueue) siftDown(i int) {
+	n := len(q.at)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.at[l] < q.at[smallest] {
+			smallest = l
+		}
+		if r < n && q.at[r] < q.at[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (q *EventQueue) swap(i, j int) {
+	q.at[i], q.at[j] = q.at[j], q.at[i]
+	q.val[i], q.val[j] = q.val[j], q.val[i]
+}

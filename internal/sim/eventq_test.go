@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := NewEventQueue(8)
+	times := []Cycle{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for i, at := range times {
+		q.Push(at, i)
+	}
+	var got []Cycle
+	for q.Len() > 0 {
+		at, _ := q.Pop()
+		got = append(got, at)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+	if len(got) != len(times) {
+		t.Fatalf("lost events: %d != %d", len(got), len(times))
+	}
+}
+
+func TestEventQueuePayloads(t *testing.T) {
+	q := NewEventQueue(4)
+	q.Push(10, 100)
+	q.Push(5, 200)
+	at, v := q.Pop()
+	if at != 5 || v != 200 {
+		t.Fatalf("got (%d,%d)", at, v)
+	}
+	at, v = q.Pop()
+	if at != 10 || v != 100 {
+		t.Fatalf("got (%d,%d)", at, v)
+	}
+}
+
+func TestEventQueuePeek(t *testing.T) {
+	q := NewEventQueue(4)
+	q.Push(7, 1)
+	q.Push(3, 2)
+	at, v := q.Peek()
+	if at != 3 || v != 2 {
+		t.Fatalf("Peek = (%d,%d)", at, v)
+	}
+	if q.Len() != 2 {
+		t.Fatal("Peek consumed an event")
+	}
+}
+
+func TestEventQueueTieStability(t *testing.T) {
+	// Ties may pop in any order but all must be delivered.
+	q := NewEventQueue(4)
+	for i := 0; i < 10; i++ {
+		q.Push(42, i)
+	}
+	seen := map[int]bool{}
+	for q.Len() > 0 {
+		at, v := q.Pop()
+		if at != 42 {
+			t.Fatalf("time corrupted: %d", at)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("lost tied events: %d", len(seen))
+	}
+}
+
+func TestEventQueueInterleaved(t *testing.T) {
+	q := NewEventQueue(4)
+	q.Push(10, 0)
+	q.Push(20, 1)
+	at, _ := q.Pop()
+	if at != 10 {
+		t.Fatal("wrong first pop")
+	}
+	q.Push(5, 2) // earlier than remaining
+	at, v := q.Pop()
+	if at != 5 || v != 2 {
+		t.Fatalf("got (%d,%d)", at, v)
+	}
+}
+
+func TestEventQueueMatchesSortProperty(t *testing.T) {
+	// Property: popping everything yields the sorted multiset of pushed
+	// times.
+	f := func(raw []uint32) bool {
+		q := NewEventQueue(len(raw))
+		var want []Cycle
+		for i, r := range raw {
+			at := Cycle(r % 1000)
+			q.Push(at, i)
+			want = append(want, at)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := 0; q.Len() > 0; i++ {
+			at, _ := q.Pop()
+			if at != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64). It is not safe for concurrent use; each simulated thread
+// owns its own RNG so streams are independent and runs are repeatable
+// regardless of scheduling.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators with the
+// same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the stream identified by seed.
+func (r *RNG) Seed(seed uint64) {
+	// Avoid the all-zeros fixed point and decorrelate small seeds.
+	r.state = seed + 0x9e3779b97f4a7c15
+}
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Split derives an independent generator from this one; used to fan a
+// single experiment seed out to per-thread streams.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^theta. It uses the inverse-CDF power-law approximation, which
+// is O(1) per sample and close enough to true Zipf for cache-reuse
+// modeling (the approximation error is far below workload-model error).
+type Zipf struct {
+	n       uint64
+	theta   float64
+	oneMinT float64
+	inv     float64
+}
+
+// NewZipf returns a sampler over [0, n) with skew theta in (0, 1) U (1, inf).
+// theta near 0 approaches uniform; larger theta concentrates mass on low
+// ranks. theta == 1 is remapped to 0.999 to keep the closed form valid.
+func NewZipf(n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("sim: Zipf over empty range")
+	}
+	if theta == 1 {
+		theta = 0.999
+	}
+	om := 1 - theta
+	return &Zipf{n: n, theta: theta, oneMinT: om, inv: 1 / om}
+}
+
+// Sample draws a rank using randomness from r.
+func (z *Zipf) Sample(r *RNG) uint64 {
+	// Inverse CDF of the continuous power-law on [1, n+1):
+	// x = ((n+1)^(1-t) - 1) * u + 1, rank = floor(x^(1/(1-t))) - 1.
+	u := r.Float64()
+	hi := math.Pow(float64(z.n+1), z.oneMinT)
+	x := (hi-1)*u + 1
+	rank := uint64(math.Pow(x, z.inv)) - 1
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}
+
+// N returns the size of the sampled range.
+func (z *Zipf) N() uint64 { return z.n }

@@ -1,0 +1,47 @@
+// Package sim provides the base types shared by every substrate in the
+// consolidation simulator: cycle time, physical addresses, cache-line
+// geometry, and a deterministic random number generator.
+//
+// Everything in the simulator is deterministic given a seed; there are no
+// wall-clock or global-rand dependencies, so every experiment is exactly
+// repeatable.
+package sim
+
+// Cycle is a point in (or duration of) simulated time, measured in core
+// clock cycles.
+type Cycle uint64
+
+// Addr is a physical byte address in the simulated machine.
+type Addr uint64
+
+// Cache-line geometry used throughout the machine (Table III of the paper
+// uses 64-byte blocks).
+const (
+	LineBytes = 64
+	LineShift = 6
+)
+
+// LineAddr returns the address of the cache line containing a.
+func LineAddr(a Addr) Addr { return a &^ (LineBytes - 1) }
+
+// BlockID returns the line index of a (address divided by the line size).
+func BlockID(a Addr) uint64 { return uint64(a) >> LineShift }
+
+// BlockAddr returns the byte address of line index b.
+func BlockAddr(b uint64) Addr { return Addr(b << LineShift) }
+
+// Max returns the larger of two cycles.
+func Max(a, b Cycle) Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the smaller of two cycles.
+func Min(a, b Cycle) Cycle {
+	if a < b {
+		return a
+	}
+	return b
+}

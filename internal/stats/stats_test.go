@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleOf(xs ...float64) *Sample {
+	s := &Sample{}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+func TestEmptySampleSafe(t *testing.T) {
+	s := &Sample{}
+	if s.Mean() != 0 || s.Var() != 0 || s.CI95() != 0 || s.CV() != 0 ||
+		s.Min() != 0 || s.Max() != 0 || s.Median() != 0 || s.N() != 0 {
+		t.Error("empty sample not zero-safe")
+	}
+}
+
+func TestMeanVar(t *testing.T) {
+	s := sampleOf(2, 4, 4, 4, 5, 5, 7, 9)
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if got := s.Var(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Var = %v", got)
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	s := sampleOf(42)
+	if s.Mean() != 42 || s.Var() != 0 || s.CI95() != 0 {
+		t.Error("single-observation stats wrong")
+	}
+}
+
+func TestCI95KnownCase(t *testing.T) {
+	// n=2, stddev = sqrt(2)/... : xs = {0, 2}: mean 1, var 2, sd 1.4142.
+	s := sampleOf(0, 2)
+	want := 12.706 * math.Sqrt2 / math.Sqrt2 // t(df=1) * sd / sqrt(2)
+	if got := s.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestCI95LargeSampleUsesNormal(t *testing.T) {
+	s := &Sample{}
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i % 2))
+	}
+	sd := s.Stddev()
+	want := 1.96 * sd / 10
+	if got := s.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	s := sampleOf(5, 1, 9, 3)
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Median() != 4 { // (3+5)/2
+		t.Errorf("Median = %v", s.Median())
+	}
+	if sampleOf(3, 1, 2).Median() != 2 {
+		t.Error("odd median wrong")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	s := sampleOf(3, 1, 2)
+	s.Median()
+	if s.xs[0] != 3 {
+		t.Error("Median sorted the underlying sample")
+	}
+}
+
+func TestCV(t *testing.T) {
+	s := sampleOf(10, 10, 10)
+	if s.CV() != 0 {
+		t.Error("constant sample has nonzero CV")
+	}
+	if sampleOf(-1, 1).CV() != 0 { // mean 0 guard
+		t.Error("zero-mean CV not guarded")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	got := sampleOf(1, 2, 3).String()
+	if !strings.Contains(got, "n=3") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMeanBetweenMinMaxProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		s := &Sample{}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Keep magnitudes sane to avoid float overflow in Var.
+			s.Add(math.Mod(x, 1e6))
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9 && s.Var() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

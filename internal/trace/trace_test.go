@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"consim/internal/workload"
+)
+
+func smallGen(seed uint64) *workload.Generator {
+	return workload.NewGenerator(workload.Specs()[workload.TPCH].Scaled(64), 4, seed)
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	h, err := Capture(&buf, smallGen(7), 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Records != 4*500 {
+		t.Fatalf("captured %d records", h.Records)
+	}
+
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Header().Threads != 4 || rd.Header().Records != 2000 {
+		t.Fatalf("header = %+v", rd.Header())
+	}
+	if rd.Spec().Class != workload.TPCH {
+		t.Error("spec not preserved")
+	}
+
+	// Replay must reproduce the generator's per-thread streams exactly.
+	ref := smallGen(7)
+	for i := uint64(0); i < 500; i++ {
+		for th := 0; th < 4; th++ {
+			want := ref.Next(th)
+			got := rd.Next(th)
+			if got != want {
+				t.Fatalf("thread %d ref %d: got %+v want %+v", th, i, got, want)
+			}
+		}
+	}
+}
+
+func TestReplayLoops(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, smallGen(1), 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rd.Next(0)
+	for i := 0; i < 9; i++ {
+		rd.Next(0)
+	}
+	// Stream wrapped: the next access repeats the first.
+	if rd.Next(0) != first {
+		t.Error("replay did not loop")
+	}
+	if rd.Loops(0) != 1 {
+		t.Errorf("Loops = %d", rd.Loops(0))
+	}
+	if rd.TotalRefs() != 11 {
+		t.Errorf("TotalRefs = %d", rd.TotalRefs())
+	}
+}
+
+func TestFootprintPreserved(t *testing.T) {
+	g := smallGen(3)
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, g, 4, 100); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.FootprintBlocks() != g.FootprintBlocks() {
+		t.Errorf("footprint %d != %d", rd.FootprintBlocks(), g.FootprintBlocks())
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOTATRACE????")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, smallGen(1), 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-3] // chop mid-record
+	if _, err := NewReader(bytes.NewReader(raw)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestEmptyThreadRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, smallGen(1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only thread 0 gets records.
+	g := smallGen(1)
+	for i := 0; i < 5; i++ {
+		if err := w.Record(0, g.Next(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(&buf); err == nil {
+		t.Error("trace with empty thread stream accepted")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, smallGen(1), 0); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := NewWriter(&buf, smallGen(1), 300); err == nil {
+		t.Error("too many threads accepted")
+	}
+}
+
+func TestWriteAfterFlushRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, smallGen(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := smallGen(1)
+	if err := w.Record(0, g.Next(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Record(0, g.Next(0)); err == nil {
+		t.Error("write after Flush accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package vm
+
+import (
+	"testing"
+
+	"consim/internal/sim"
+	"consim/internal/workload"
+)
+
+func newVM(t *testing.T, base sim.Addr) *VM {
+	t.Helper()
+	gen := workload.NewGenerator(workload.Specs()[workload.TPCH].Scaled(64), 4, 1)
+	return New(0, gen, base)
+}
+
+func TestAddrMappingRoundtrip(t *testing.T) {
+	v := newVM(t, 1<<20)
+	for _, b := range []uint64{0, 1, 100, 4095} {
+		a := v.AddrOf(b)
+		if a%sim.LineBytes != 0 {
+			t.Errorf("AddrOf(%d) unaligned: %#x", b, a)
+		}
+		if v.BlockOf(a) != b {
+			t.Errorf("roundtrip failed for block %d", b)
+		}
+	}
+}
+
+func TestOwns(t *testing.T) {
+	v := newVM(t, 1<<20)
+	if !v.Owns(v.AddrOf(0)) {
+		t.Error("does not own its base")
+	}
+	last := v.Gen.FootprintBlocks() - 1
+	if !v.Owns(v.AddrOf(last)) {
+		t.Error("does not own its last block")
+	}
+	if v.Owns(v.AddrOf(last) + sim.LineBytes) {
+		t.Error("owns past its region")
+	}
+	if v.Owns(0) {
+		t.Error("owns below its base")
+	}
+}
+
+func TestNewPanicsOnUnalignedBase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned base accepted")
+		}
+	}()
+	newVM(t, 7)
+}
+
+func TestTouchCountsDistinct(t *testing.T) {
+	v := newVM(t, 0)
+	v.Touch(5)
+	v.Touch(5)
+	v.Touch(6)
+	v.Touch(1000)
+	if v.TouchedBlocks() != 3 {
+		t.Errorf("TouchedBlocks = %d", v.TouchedBlocks())
+	}
+}
+
+func TestResetStatsKeepsFootprint(t *testing.T) {
+	v := newVM(t, 0)
+	v.Touch(1)
+	v.Stats.Refs = 99
+	v.ResetStats()
+	if v.Stats.Refs != 0 {
+		t.Error("stats not cleared")
+	}
+	if v.TouchedBlocks() != 1 {
+		t.Error("footprint cleared; must be cumulative")
+	}
+}
+
+func TestRegionEndAligned(t *testing.T) {
+	v := newVM(t, 0)
+	end := v.RegionEnd(1 << 20)
+	if end%(1<<20) != 0 {
+		t.Errorf("RegionEnd unaligned: %#x", end)
+	}
+	if end < v.AddrOf(v.Gen.FootprintBlocks()-1) {
+		t.Error("RegionEnd inside the region")
+	}
+}
+
+func TestStatsDerivedMetrics(t *testing.T) {
+	s := Stats{
+		Refs: 1000, PrivMisses: 100, LLCMisses: 50,
+		C2CClean: 20, C2CDirty: 10, MemReads: 25,
+		MissLatSum: 5000,
+	}
+	if s.C2C() != 30 {
+		t.Errorf("C2C = %d", s.C2C())
+	}
+	if s.MissRate() != 0.05 {
+		t.Errorf("MissRate = %v", s.MissRate())
+	}
+	if s.AvgMissLatency() != 50 {
+		t.Errorf("AvgMissLatency = %v", s.AvgMissLatency())
+	}
+	if s.C2CFraction() != 0.3 {
+		t.Errorf("C2CFraction = %v", s.C2CFraction())
+	}
+	if s.C2COfLLCMisses() != 0.6 {
+		t.Errorf("C2COfLLCMisses = %v", s.C2COfLLCMisses())
+	}
+	if s.C2CDirtyShare() != 10.0/30 {
+		t.Errorf("C2CDirtyShare = %v", s.C2CDirtyShare())
+	}
+}
+
+func TestStatsZeroSafe(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 || s.AvgMissLatency() != 0 || s.C2CFraction() != 0 ||
+		s.C2COfLLCMisses() != 0 || s.C2CDirtyShare() != 0 {
+		t.Error("zero stats not zero-safe")
+	}
+}
+
+func TestVMIdentity(t *testing.T) {
+	v := newVM(t, 0)
+	if v.Name() != "TPC-H" || v.Class() != workload.TPCH {
+		t.Errorf("identity = %s/%v", v.Name(), v.Class())
+	}
+}

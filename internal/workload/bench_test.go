@@ -1,0 +1,19 @@
+package workload
+
+import "testing"
+
+// BenchmarkGeneratorNext measures reference-stream generation (called
+// once per simulated memory access).
+func BenchmarkGeneratorNext(b *testing.B) {
+	for _, c := range All() {
+		spec := Specs()[c]
+		b.Run(spec.Name, func(b *testing.B) {
+			g := NewGenerator(spec, 4, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Next(i & 3)
+			}
+		})
+	}
+}

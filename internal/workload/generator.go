@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"fmt"
+
+	"consim/internal/sim"
+)
+
+// Access is one memory reference emitted by a generator. Block is an
+// index into the workload's footprint (the VM layer maps it into the
+// machine's physical address space).
+type Access struct {
+	Block uint64
+	Write bool
+}
+
+// Region identifies which part of the footprint an access touched; the
+// system model uses it only for diagnostics.
+type Region uint8
+
+// The four footprint regions.
+const (
+	RegionPrivate Region = iota
+	RegionShared
+	RegionMigratory
+	RegionScan
+)
+
+type layout struct {
+	privPerThread uint64
+	sharedBase    uint64
+	sharedLen     uint64
+	migBase       uint64
+	migLen        uint64
+	scanBase      uint64
+	scanLen       uint64
+	total         uint64
+}
+
+func layoutFor(s Spec, threads int) layout {
+	var l layout
+	priv := uint64(float64(s.Blocks) * s.PrivFrac)
+	l.privPerThread = priv / uint64(threads)
+	if l.privPerThread == 0 {
+		l.privPerThread = 1
+	}
+	priv = l.privPerThread * uint64(threads)
+	l.sharedBase = priv
+	l.sharedLen = max64(uint64(float64(s.Blocks)*s.SharedFrac), 1)
+	l.migBase = l.sharedBase + l.sharedLen
+	l.migLen = max64(uint64(float64(s.Blocks)*s.MigFrac), 1)
+	l.scanBase = l.migBase + l.migLen
+	l.scanLen = max64(uint64(float64(s.Blocks)*s.ScanFrac), 1)
+	l.total = l.scanBase + l.scanLen
+	return l
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// migRun tracks one in-progress migratory read-modify-write episode.
+type migRun struct {
+	block     uint64
+	remaining int
+}
+
+// Generator produces the reference streams for one workload instance's
+// threads. It is deterministic given its seed; each thread has an
+// independent random stream so per-thread interleaving does not perturb
+// the workload.
+type Generator struct {
+	spec    Spec
+	threads int
+	lay     layout
+
+	rngs       []*sim.RNG
+	zipfPriv   *sim.Zipf
+	zipfShared *sim.Zipf
+
+	mig        []migRun
+	privSweep  []uint64 // per-thread sweep position (monotonic)
+	sharedCold uint64   // global cold-sweep position (monotonic)
+	scanCount  uint64   // global scan reference counter
+
+	refs []uint64 // per-thread reference counts
+
+	// Per-thread cached phase state (recomputed at phase boundaries).
+	phaseIdx []int
+	mix      []phaseMix
+}
+
+// NewGenerator builds the generator for spec with the given thread count
+// and seed. It panics on an invalid spec (specs are produced by this
+// module).
+func NewGenerator(spec Spec, threads int, seed uint64) *Generator {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if threads <= 0 {
+		panic(fmt.Sprintf("workload: non-positive thread count %d", threads))
+	}
+	g := &Generator{
+		spec:      spec,
+		threads:   threads,
+		lay:       layoutFor(spec, threads),
+		rngs:      make([]*sim.RNG, threads),
+		mig:       make([]migRun, threads),
+		privSweep: make([]uint64, threads),
+		refs:      make([]uint64, threads),
+		phaseIdx:  make([]int, threads),
+		mix:       make([]phaseMix, threads),
+	}
+	for t := 0; t < threads; t++ {
+		g.phaseIdx[t] = spec.phaseAt(spec.PhaseOffset)
+		g.mix[t] = spec.mixFor(g.phaseIdx[t])
+	}
+	root := sim.NewRNG(seed ^ uint64(spec.Class)<<32)
+	for i := range g.rngs {
+		g.rngs[i] = root.Split()
+	}
+	hot := uint64(spec.HotBlocksPriv)
+	if hot > g.lay.privPerThread {
+		hot = g.lay.privPerThread
+	}
+	g.zipfPriv = sim.NewZipf(hot, spec.ThetaPriv)
+	sharedHot := uint64(spec.SharedHotBlocks)
+	if sharedHot > g.lay.sharedLen {
+		sharedHot = g.lay.sharedLen
+	}
+	g.zipfShared = sim.NewZipf(sharedHot, spec.ThetaShared)
+	return g
+}
+
+// Spec returns the generated workload's parameters.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Threads returns the number of reference streams.
+func (g *Generator) Threads() int { return g.threads }
+
+// FootprintBlocks returns the size of the workload's block address space.
+func (g *Generator) FootprintBlocks() uint64 { return g.lay.total }
+
+// Next produces thread t's next reference.
+func (g *Generator) Next(t int) Access {
+	r := g.rngs[t]
+	g.refs[t]++
+
+	// Track phase transitions (no-op for unphased specs).
+	if len(g.spec.Phases) > 0 {
+		if idx := g.spec.phaseAt(g.refs[t] + g.spec.PhaseOffset); idx != g.phaseIdx[t] {
+			g.phaseIdx[t] = idx
+			g.mix[t] = g.spec.mixFor(idx)
+		}
+	}
+	mix := &g.mix[t]
+
+	// An in-progress migratory episode takes priority: the burst must
+	// finish with its write for ownership to move.
+	if g.mig[t].remaining > 0 {
+		g.mig[t].remaining--
+		return Access{
+			Block: g.lay.migBase + g.mig[t].block,
+			Write: g.mig[t].remaining == 0,
+		}
+	}
+
+	u := r.Float64()
+	switch {
+	case u < mix.pMig:
+		// Start a migratory episode on a uniformly chosen block of the
+		// small migratory region; it was most likely last written by
+		// another thread, so the first touch is a dirty transfer.
+		b := r.Uint64n(g.lay.migLen)
+		g.mig[t] = migRun{block: b, remaining: g.spec.MigBurst - 1}
+		return Access{Block: g.lay.migBase + b}
+
+	case u < mix.pMig+mix.pScan:
+		// Collaborative scan: ScanReadsPerBlock consecutive scan
+		// references (across all threads) land on the same block before
+		// the shared cursor advances, so trailing reads — usually by a
+		// different thread — hit the leader's cache.
+		g.scanCount++
+		pos := (g.scanCount / uint64(g.spec.ScanReadsPerBlock)) % g.lay.scanLen
+		return Access{Block: g.lay.scanBase + pos}
+
+	case u < mix.pMig+mix.pScan+mix.pShared:
+		// Shared-read region: cold coverage sweep (fast on the first
+		// lap, then a trickle) or the Zipf-hot set.
+		coldP := g.spec.SharedColdSteady
+		if g.sharedCold < g.lay.sharedLen {
+			coldP = g.spec.SharedColdWarm
+		}
+		if r.Bool(coldP) {
+			pos := g.sharedCold % g.lay.sharedLen
+			g.sharedCold++
+			return Access{Block: g.lay.sharedBase + pos}
+		}
+		b := g.zipfShared.Sample(r)
+		return Access{Block: g.lay.sharedBase + b, Write: r.Bool(mix.writeFracShared)}
+
+	default:
+		// Private partition: coverage sweep or the per-thread hot set.
+		sweepP := mix.sweepSteady
+		if g.privSweep[t] < g.lay.privPerThread {
+			sweepP = g.spec.SweepWarm
+		}
+		base := uint64(t) * g.lay.privPerThread
+		if r.Bool(sweepP) {
+			pos := g.privSweep[t] % g.lay.privPerThread
+			g.privSweep[t]++
+			return Access{Block: base + pos}
+		}
+		b := g.zipfPriv.Sample(r)
+		return Access{Block: base + b, Write: r.Bool(mix.writeFrac)}
+	}
+}
+
+// RegionOf classifies a block index produced by this generator.
+func (g *Generator) RegionOf(block uint64) Region {
+	return regionOf(g.lay, block)
+}
+
+func regionOf(l layout, block uint64) Region {
+	switch {
+	case block < l.sharedBase:
+		return RegionPrivate
+	case block < l.migBase:
+		return RegionShared
+	case block < l.scanBase:
+		return RegionMigratory
+	default:
+		return RegionScan
+	}
+}
+
+// Refs returns thread t's reference count so far.
+func (g *Generator) Refs(t int) uint64 { return g.refs[t] }
+
+// TotalRefs returns the workload's total reference count.
+func (g *Generator) TotalRefs() uint64 {
+	var n uint64
+	for _, v := range g.refs {
+		n += v
+	}
+	return n
+}
+
+// Transactions returns completed transactions (total references divided
+// by the workload's transaction size, per §V's cycles-per-transaction
+// framing).
+func (g *Generator) Transactions() uint64 {
+	return g.TotalRefs() / uint64(g.spec.RefsPerTx)
+}

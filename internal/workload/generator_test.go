@@ -1,0 +1,323 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func specFor(t *testing.T, c Class) Spec {
+	t.Helper()
+	return Specs()[c]
+}
+
+func TestSpecsValidate(t *testing.T) {
+	for _, s := range Specs() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestSpecValidateRejectsBadFractions(t *testing.T) {
+	s := specFor(t, TPCH)
+	s.PrivFrac = 0.9
+	s.SharedFrac = 0.9
+	if s.Validate() == nil {
+		t.Error("region fractions > 1 accepted")
+	}
+	s = specFor(t, TPCH)
+	s.PShared, s.PMig, s.PScan = 0.5, 0.5, 0.5
+	if s.Validate() == nil {
+		t.Error("reference mix > 1 accepted")
+	}
+	s = specFor(t, TPCH)
+	s.WriteFrac = 1.5
+	if s.Validate() == nil {
+		t.Error("fraction out of [0,1] accepted")
+	}
+	s = specFor(t, TPCH)
+	s.Blocks = 0
+	if s.Validate() == nil {
+		t.Error("zero footprint accepted")
+	}
+	s = specFor(t, TPCH)
+	s.MigBurst = 0
+	if s.Validate() == nil {
+		t.Error("zero burst accepted")
+	}
+}
+
+func TestScaledFloors(t *testing.T) {
+	s := specFor(t, TPCW).Scaled(1 << 20)
+	if s.Blocks < 4096 || s.HotBlocksPriv < 64 || s.SharedHotBlocks < 256 || s.RefsPerTx < 1000 {
+		t.Errorf("scaling floors violated: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("extreme scale invalid: %v", err)
+	}
+	// Scale 1 is identity.
+	a, b := specFor(t, TPCW).Scaled(1), specFor(t, TPCW)
+	if a.Blocks != b.Blocks || a.HotBlocksPriv != b.HotBlocksPriv ||
+		a.SharedHotBlocks != b.SharedHotBlocks || a.RefsPerTx != b.RefsPerTx {
+		t.Error("Scaled(1) changed the spec")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, s := range Specs() {
+		got, err := ByName(s.Name)
+		if err != nil || got.Class != s.Class {
+			t.Errorf("ByName(%q) = %v, %v", s.Name, got.Class, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{TPCW: "TPC-W", SPECjbb: "SPECjbb", TPCH: "TPC-H", SPECweb: "SPECweb"}
+	for c, n := range want {
+		if c.String() != n {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(specFor(t, SPECjbb).Scaled(64), 4, 42)
+	b := NewGenerator(specFor(t, SPECjbb).Scaled(64), 4, 42)
+	for i := 0; i < 10000; i++ {
+		th := i % 4
+		if a.Next(th) != b.Next(th) {
+			t.Fatalf("streams diverged at ref %d", i)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	a := NewGenerator(specFor(t, SPECjbb).Scaled(64), 4, 1)
+	b := NewGenerator(specFor(t, SPECjbb).Scaled(64), 4, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next(0) == b.Next(0) {
+			same++
+		}
+	}
+	if same > 500 {
+		t.Errorf("different seeds nearly identical: %d/1000 equal", same)
+	}
+}
+
+func TestGeneratorBlocksInRange(t *testing.T) {
+	for _, c := range All() {
+		g := NewGenerator(specFor(t, c).Scaled(64), 4, 7)
+		fp := g.FootprintBlocks()
+		for i := 0; i < 50000; i++ {
+			a := g.Next(i % 4)
+			if a.Block >= fp {
+				t.Fatalf("%v: block %d outside footprint %d", c, a.Block, fp)
+			}
+		}
+	}
+}
+
+func TestGeneratorPrivateDisjointAcrossThreads(t *testing.T) {
+	g := NewGenerator(specFor(t, TPCW).Scaled(64), 4, 9)
+	seen := make(map[uint64]int)
+	for i := 0; i < 200000; i++ {
+		th := i % 4
+		a := g.Next(th)
+		if g.RegionOf(a.Block) != RegionPrivate {
+			continue
+		}
+		if prev, ok := seen[a.Block]; ok && prev != th {
+			t.Fatalf("private block %d touched by threads %d and %d", a.Block, prev, th)
+		}
+		seen[a.Block] = th
+	}
+}
+
+func TestMigratoryBurstEndsWithWrite(t *testing.T) {
+	spec := specFor(t, TPCH).Scaled(64)
+	g := NewGenerator(spec, 1, 11)
+	inBurst := false
+	var burstBlock uint64
+	writesSeen := 0
+	for i := 0; i < 100000; i++ {
+		a := g.Next(0)
+		mig := g.RegionOf(a.Block) == RegionMigratory
+		if mig {
+			if inBurst && a.Block != burstBlock {
+				t.Fatal("burst switched blocks mid-episode")
+			}
+			burstBlock = a.Block
+			inBurst = !a.Write
+			if a.Write {
+				writesSeen++
+			}
+		} else if inBurst {
+			t.Fatal("burst interrupted by non-migratory access")
+		}
+	}
+	if writesSeen == 0 {
+		t.Error("no migratory writes observed")
+	}
+}
+
+func TestScanReadsPerBlock(t *testing.T) {
+	spec := specFor(t, TPCH).Scaled(64)
+	g := NewGenerator(spec, 4, 13)
+	counts := map[uint64]int{}
+	for i := 0; i < 400000; i++ {
+		a := g.Next(i % 4)
+		if g.RegionOf(a.Block) == RegionScan {
+			counts[a.Block]++
+			if a.Write {
+				t.Fatal("scan access was a write")
+			}
+		}
+	}
+	if len(counts) == 0 {
+		t.Fatal("no scan accesses")
+	}
+	// Most visited blocks should have been read about K times (the last
+	// cursor position may be mid-flight).
+	k := spec.ScanReadsPerBlock
+	exact := 0
+	for _, n := range counts {
+		if n >= k {
+			exact++
+		}
+	}
+	if frac := float64(exact) / float64(len(counts)); frac < 0.8 {
+		t.Errorf("only %.2f of scan blocks read >= %d times", frac, k)
+	}
+}
+
+func TestRegionClassification(t *testing.T) {
+	g := NewGenerator(specFor(t, SPECweb).Scaled(64), 4, 17)
+	regions := map[Region]bool{}
+	for i := 0; i < 300000; i++ {
+		a := g.Next(i % 4)
+		regions[g.RegionOf(a.Block)] = true
+	}
+	for _, r := range []Region{RegionPrivate, RegionShared, RegionMigratory, RegionScan} {
+		if !regions[r] {
+			t.Errorf("region %d never touched", r)
+		}
+	}
+}
+
+func TestRefsAndTransactions(t *testing.T) {
+	spec := specFor(t, SPECjbb).Scaled(64)
+	g := NewGenerator(spec, 2, 19)
+	for i := 0; i < 3000; i++ {
+		g.Next(0)
+	}
+	for i := 0; i < 2000; i++ {
+		g.Next(1)
+	}
+	if g.Refs(0) != 3000 || g.Refs(1) != 2000 || g.TotalRefs() != 5000 {
+		t.Errorf("refs = %d/%d/%d", g.Refs(0), g.Refs(1), g.TotalRefs())
+	}
+	if want := 5000 / uint64(spec.RefsPerTx); g.Transactions() != want {
+		t.Errorf("Transactions = %d, want %d", g.Transactions(), want)
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	spec := specFor(t, TPCH)
+	for _, fn := range []func(){
+		func() { NewGenerator(spec, 0, 1) },
+		func() { bad := spec; bad.Blocks = -1; NewGenerator(bad, 4, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid generator construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLayoutRegionsCoverAndDisjoint(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		for _, c := range All() {
+			s := Specs()[c].Scaled(int(seedRaw%128) + 1)
+			l := layoutFor(s, 4)
+			// Regions tile [0, total) in order without overlap.
+			if l.sharedBase != l.privPerThread*4 {
+				return false
+			}
+			if l.migBase != l.sharedBase+l.sharedLen {
+				return false
+			}
+			if l.scanBase != l.migBase+l.migLen {
+				return false
+			}
+			if l.total != l.scanBase+l.scanLen {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteFractionApproximate(t *testing.T) {
+	spec := specFor(t, SPECjbb).Scaled(64)
+	g := NewGenerator(spec, 4, 21)
+	writes, n := 0, 300000
+	for i := 0; i < n; i++ {
+		if g.Next(i % 4).Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(n)
+	if frac <= 0 || frac > 0.35 {
+		t.Errorf("overall write fraction %v implausible", frac)
+	}
+}
+
+func TestSpecRegionOfMatchesGenerator(t *testing.T) {
+	spec := specFor(t, TPCH).Scaled(64)
+	g := NewGenerator(spec, 4, 3)
+	for i := 0; i < 20000; i++ {
+		a := g.Next(i % 4)
+		if spec.RegionOf(a.Block, 4) != g.RegionOf(a.Block) {
+			t.Fatalf("spec/generator region disagree for block %d", a.Block)
+		}
+	}
+}
+
+func TestRegionNames(t *testing.T) {
+	want := map[Region]string{
+		RegionPrivate: "private", RegionShared: "shared",
+		RegionMigratory: "migratory", RegionScan: "scan",
+	}
+	for r, n := range want {
+		if RegionName(r) != n {
+			t.Errorf("RegionName(%d) = %q", r, RegionName(r))
+		}
+	}
+	if RegionName(Region(99)) != "unknown" {
+		t.Error("unknown region not handled")
+	}
+}
+
+func TestTableIITargetsComplete(t *testing.T) {
+	for _, c := range All() {
+		tg := TableII()[c]
+		if tg.C2CAll <= 0 || tg.BlocksK <= 0 || tg.TxDescribe == "" {
+			t.Errorf("%v: incomplete Table II target %+v", c, tg)
+		}
+		if d := tg.C2CClean + tg.C2CDirty; d < 0.99 || d > 1.01 {
+			t.Errorf("%v: clean+dirty = %v, want 1", c, d)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package workload
+
+// Source abstracts where a VM's reference stream comes from: the live
+// statistical Generator, or a recorded trace replayed from disk (the
+// analog of the paper's workload checkpoints — "snapshots of a workload
+// ... ensuring the same set of transactions are run in each simulation").
+type Source interface {
+	// Next produces thread t's next reference.
+	Next(t int) Access
+	// Spec returns the workload parameters the stream was produced
+	// under.
+	Spec() Spec
+	// FootprintBlocks returns the size of the workload's block address
+	// space.
+	FootprintBlocks() uint64
+	// TotalRefs returns the number of references issued so far.
+	TotalRefs() uint64
+}
+
+var _ Source = (*Generator)(nil)
