@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -18,11 +19,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "comma-separated ablation IDs (default: all of A1..A4)")
-		scale = flag.Int("scale", 4, "divide cache capacities and footprints")
-		warm  = flag.Uint64("warm", 300_000, "warm-up references per core")
-		meas  = flag.Uint64("meas", 500_000, "measured references per core")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		exp      = flag.String("exp", "", "comma-separated ablation IDs (default: all of A1..A6)")
+		scale    = flag.Int("scale", 4, "divide cache capacities and footprints")
+		warm     = flag.Uint64("warm", 300_000, "warm-up references per core")
+		meas     = flag.Uint64("meas", 500_000, "measured references per core")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to keep in flight at once")
 	)
 	flag.Parse()
 
@@ -32,6 +34,7 @@ func main() {
 	}
 	r := consim.NewRunner(consim.RunnerOptions{
 		Scale: *scale, WarmupRefs: *warm, MeasureRefs: *meas, Seed: *seed,
+		Parallel: *parallel,
 	})
 	for _, id := range ids {
 		start := time.Now()

@@ -1,0 +1,169 @@
+// Command bench measures simulator throughput and allocation behaviour
+// and writes the numbers to a JSON report (BENCH_consim.json by
+// default), the artifact tracked for performance regressions.
+//
+// Two sections are measured:
+//
+//   - throughput: repeated runs of the BenchmarkSimulatorThroughput
+//     configuration (the 4-VM consolidated machine at 1/16 scale),
+//     reporting references simulated per second, bytes allocated per
+//     reference, and heap allocations per reference via
+//     runtime.ReadMemStats deltas around each run.
+//
+//   - figures: wall time per requested figure artifact through a
+//     Runner, exercising the deduplicated parallel sweep path.
+//
+// Examples:
+//
+//	bench                         # default throughput + T2,F2,F12 figures
+//	bench -iters 5 -out bench.json
+//	bench -figures ""             # throughput only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"consim"
+)
+
+// Report is the schema of BENCH_consim.json.
+type Report struct {
+	// Host settings the numbers were taken under.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	// Throughput configuration and per-iteration results.
+	Scale        int     `json:"scale"`
+	WarmupRefs   uint64  `json:"warmup_refs"`
+	MeasureRefs  uint64  `json:"measure_refs"`
+	Iters        int     `json:"iters"`
+	RefsPerRun   uint64  `json:"refs_per_run"`
+	WallSeconds  float64 `json:"wall_seconds"`   // best iteration
+	RefsPerSec   float64 `json:"refs_per_sec"`   // best iteration
+	BytesPerRef  float64 `json:"bytes_per_ref"`  // mean over iterations
+	AllocsPerRef float64 `json:"allocs_per_ref"` // mean over iterations
+
+	// Figure suite wall times (seconds), at the benchmark scale.
+	FigureParallel int                `json:"figure_parallel,omitempty"`
+	FigureSeconds  map[string]float64 `json:"figure_seconds,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func benchCfg(scale int, warm, meas uint64) consim.Config {
+	specs := consim.WorkloadSpecs()
+	cfg := consim.DefaultConfig(
+		specs[consim.TPCW], specs[consim.SPECjbb],
+		specs[consim.TPCH], specs[consim.SPECweb],
+	)
+	cfg.Scale = scale
+	cfg.GroupSize = 4
+	cfg.WarmupRefs = warm
+	cfg.MeasureRefs = meas
+	return cfg
+}
+
+func run() error {
+	var (
+		scale    = flag.Int("scale", 16, "throughput run scale divisor")
+		warm     = flag.Uint64("warm", 10_000, "warm-up references per core")
+		meas     = flag.Uint64("meas", 50_000, "measured references per core")
+		iters    = flag.Int("iters", 3, "throughput iterations (best wall time wins)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations in flight for the figure suite")
+		figures  = flag.String("figures", "T2,F2,F12", "comma-separated figure IDs to time (empty = skip)")
+		out      = flag.String("out", "BENCH_consim.json", "report path (- = stdout)")
+	)
+	flag.Parse()
+
+	rep := Report{
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Scale:       *scale,
+		WarmupRefs:  *warm,
+		MeasureRefs: *meas,
+		Iters:       *iters,
+	}
+
+	// Throughput: same configuration as BenchmarkSimulatorThroughput.
+	// One untimed run warms the process, then each timed iteration is
+	// bracketed by ReadMemStats so bytes/allocs cover exactly the runs.
+	if _, err := consim.Run(benchCfg(*scale, *warm, *meas)); err != nil {
+		return err
+	}
+	var bytesSum, allocsSum float64
+	for i := 0; i < *iters; i++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res, err := consim.Run(benchCfg(*scale, *warm, *meas))
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			return err
+		}
+		runtime.ReadMemStats(&after)
+
+		var refs uint64
+		for _, v := range res.VMs {
+			refs += v.Stats.Refs
+		}
+		rep.RefsPerRun = refs
+		bytesSum += float64(after.TotalAlloc - before.TotalAlloc)
+		allocsSum += float64(after.Mallocs - before.Mallocs)
+		if rps := float64(refs) / wall; rps > rep.RefsPerSec {
+			rep.RefsPerSec = rps
+			rep.WallSeconds = wall
+		}
+		fmt.Fprintf(os.Stderr, "[throughput %d/%d: %.0f refs/sec]\n",
+			i+1, *iters, float64(refs)/wall)
+	}
+	perRef := float64(rep.RefsPerRun) * float64(*iters)
+	rep.BytesPerRef = bytesSum / perRef
+	rep.AllocsPerRef = allocsSum / perRef
+
+	// Figure suite timings through the single-flight parallel runner.
+	if ids := strings.TrimSpace(*figures); ids != "" {
+		rep.FigureParallel = *parallel
+		rep.FigureSeconds = make(map[string]float64)
+		r := consim.NewRunner(consim.RunnerOptions{
+			Scale: *scale, WarmupRefs: *warm, MeasureRefs: *meas,
+			Parallel: *parallel,
+		})
+		for _, id := range strings.Split(ids, ",") {
+			id = strings.TrimSpace(id)
+			start := time.Now()
+			if _, err := r.RunFigure(id); err != nil {
+				return err
+			}
+			rep.FigureSeconds[id] = time.Since(start).Seconds()
+			fmt.Fprintf(os.Stderr, "[figure %s: %.2fs]\n", id, rep.FigureSeconds[id])
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s: %.0f refs/sec, %.4f allocs/ref]\n",
+		*out, rep.RefsPerSec, rep.AllocsPerRef)
+	return nil
+}

@@ -1,14 +1,17 @@
 // Command calibrate runs each workload model in isolation on the private
 // LLC configuration (Table II's reference setup) and prints measured vs
 // paper statistics, for tuning the workload parameters in
-// internal/workload/spec.go.
+// internal/workload/spec.go. All runs execute through one bounded pool
+// (-parallel, default GOMAXPROCS); output order is fixed regardless.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"consim"
 	"consim/internal/core"
 	"consim/internal/workload"
 )
@@ -19,30 +22,51 @@ func main() {
 	meas := flag.Uint64("meas", 1_000_000, "measured references per core")
 	only := flag.String("only", "", "run a single workload by name")
 	gradient := flag.Bool("gradient", false, "also print the capacity gradient (miss rate and runtime at shared/shared-4/private)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to keep in flight at once")
 	flag.Parse()
 
-	fmt.Printf("%-9s %7s %7s %7s | %7s %7s %7s | %9s %9s | %8s %8s\n",
-		"workload", "c2c", "clean", "dirty", "tgt", "tgtCl", "tgtDy", "blocksK", "tgtBlkK", "missRate", "missLat")
+	gradientSizes := []int{16, 4, 1}
+
+	// Build the whole job list first (one private-LLC run per workload,
+	// plus the gradient runs when requested), execute it through the
+	// bounded pool, then print rows in the fixed workload order.
+	var specs []workload.Spec
+	var cfgs []core.Config
+	mkCfg := func(spec workload.Spec, gs int) core.Config {
+		cfg := core.DefaultConfig(spec)
+		cfg.GroupSize = gs
+		cfg.Scale = *scale
+		cfg.WarmupRefs = *warm
+		cfg.MeasureRefs = *meas
+		return cfg
+	}
 	for _, spec := range workload.Specs() {
 		if *only != "" && spec.Name != *only {
 			continue
 		}
+		specs = append(specs, spec)
+		cfgs = append(cfgs, mkCfg(spec, 1))
+		if *gradient {
+			for _, gs := range gradientSizes {
+				cfgs = append(cfgs, mkCfg(spec, gs))
+			}
+		}
+	}
+	results, err := consim.RunConfigs(cfgs, *parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	perSpec := 1
+	if *gradient {
+		perSpec += len(gradientSizes)
+	}
+	fmt.Printf("%-9s %7s %7s %7s | %7s %7s %7s | %9s %9s | %8s %8s\n",
+		"workload", "c2c", "clean", "dirty", "tgt", "tgtCl", "tgtDy", "blocksK", "tgtBlkK", "missRate", "missLat")
+	for i, spec := range specs {
 		tgt := workload.TableII()[spec.Class]
-		cfg := core.DefaultConfig(spec)
-		cfg.GroupSize = 1
-		cfg.Scale = *scale
-		cfg.WarmupRefs = *warm
-		cfg.MeasureRefs = *meas
-		sys, err := core.NewSystem(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		res, err := sys.Run()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		res := results[i*perSpec]
 		v := res.VMs[0]
 		st := v.Stats
 		fmt.Printf("%-9s %7.3f %7.3f %7.3f | %7.2f %7.2f %7.2f | %9d %9d | %8.4f %8.1f\n",
@@ -54,23 +78,8 @@ func main() {
 
 		if *gradient {
 			base := 0.0
-			for _, gs := range []int{16, 4, 1} {
-				cfg := core.DefaultConfig(spec)
-				cfg.GroupSize = gs
-				cfg.Scale = *scale
-				cfg.WarmupRefs = *warm
-				cfg.MeasureRefs = *meas
-				sys, err := core.NewSystem(cfg)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				gres, err := sys.Run()
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				gv := gres.VMs[0]
+			for j, gs := range gradientSizes {
+				gv := results[i*perSpec+1+j].VMs[0]
 				if gs == 16 {
 					base = gv.CyclesPerTx
 				}

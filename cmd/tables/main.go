@@ -2,9 +2,14 @@
 // evaluation section (Table II and Figures 2-13) and prints them as text
 // or markdown. This is the harness behind EXPERIMENTS.md.
 //
-//	tables                      # everything, full scale (~30-40 min)
-//	tables -scale 4 -parallel 8 # reduced scale, parallel (~minutes)
+// All requested artifacts are scheduled through one deduplicated work
+// queue with up to -parallel (default GOMAXPROCS) simulations in flight;
+// parallelism never changes the tables, only the wall time.
+//
+//	tables                      # everything, full scale
+//	tables -scale 4             # reduced scale (~minutes)
 //	tables -exp F8,F9           # selected artifacts
+//	tables -parallel 1          # serial execution
 //	tables -format md           # markdown output
 package main
 
@@ -33,7 +38,7 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		warm     = flag.Uint64("warm", 600_000, "warm-up references per core")
 		meas     = flag.Uint64("meas", 1_000_000, "measured references per core")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "simulations to run concurrently")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to keep in flight at once")
 		format   = flag.String("format", "text", "output format: text, md, csv, bars")
 	)
 	flag.Parse()
@@ -41,6 +46,9 @@ func run() error {
 	ids := consim.FigureIDs()
 	if *exp != "" {
 		ids = strings.Split(*exp, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
 	}
 
 	r := consim.NewRunner(consim.RunnerOptions{
@@ -51,13 +59,15 @@ func run() error {
 		Parallel:    *parallel,
 	})
 
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		start := time.Now()
-		t, err := r.RunFigure(id)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
+	// The whole batch goes through one deduplicated work queue: shared
+	// isolation baselines simulate once, and up to -parallel simulations
+	// run at a time across all requested figures.
+	start := time.Now()
+	tables, err := r.RunFigures(ids...)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
 		switch *format {
 		case "md":
 			fmt.Println(t.Markdown())
@@ -68,7 +78,8 @@ func run() error {
 		default:
 			fmt.Println(t.Text())
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	fmt.Fprintf(os.Stderr, "[%d artifacts from %d simulations in %v]\n",
+		len(tables), r.Sims(), time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -24,6 +24,9 @@
 package consim
 
 import (
+	"runtime"
+	"sync"
+
 	"consim/internal/core"
 	"consim/internal/harness"
 	"consim/internal/sched"
@@ -111,6 +114,38 @@ func Run(cfg Config) (Result, error) {
 	return sys.Run()
 }
 
+// RunConfigs builds and executes independent simulations with up to
+// parallel in flight at once (parallel <= 0 means runtime.GOMAXPROCS)
+// and returns their results in input order. Each simulation is
+// single-threaded and deterministic given its seed, so parallelism
+// affects wall time only, never results. On error, the lowest-index
+// failure is returned.
+func RunConfigs(cfgs []Config, parallel int) ([]Result, error) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	results := make([]Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	wg.Add(len(cfgs))
+	for i := range cfgs {
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
 // WorkloadSpecs returns the calibrated models of the paper's four
 // workloads, indexed by WorkloadClass.
 func WorkloadSpecs() [workload.NumClasses]WorkloadSpec { return workload.Specs() }
@@ -135,8 +170,11 @@ func HomogeneousMixes() []Mix { return harness.HomogeneousMixes() }
 // MixByID resolves a Table IV mix by label ("1".."9", "A".."D").
 func MixByID(id string) (Mix, error) { return harness.MixByID(id) }
 
-// NewRunner returns an experiment runner that memoizes simulations across
-// figure regenerations.
+// NewRunner returns an experiment runner that memoizes simulations
+// across figure regenerations. Memoization is single-flight and all
+// execution shares one worker pool of RunnerOptions.Parallel slots
+// (0 defaults to runtime.GOMAXPROCS); Runner.RunFigures schedules a
+// whole figure suite through that one deduplicated queue.
 func NewRunner(opt RunnerOptions) *Runner { return harness.NewRunner(opt) }
 
 // DefaultRunnerOptions returns the full-scale experiment settings used
@@ -146,5 +184,5 @@ func DefaultRunnerOptions() RunnerOptions { return harness.DefaultOptions() }
 // FigureIDs lists the reproducible artifacts (T2, F2..F13).
 func FigureIDs() []string { return harness.FigureIDs() }
 
-// AblationIDs lists the design-choice ablation studies (A1..A4).
+// AblationIDs lists the design-choice ablation studies (A1..A6).
 func AblationIDs() []string { return harness.AblationIDs() }

@@ -86,6 +86,11 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// invalidTag marks an empty way in the tag mirror. Line tags are
+// line-aligned addresses (low bits zero), so the all-ones value can never
+// collide with a real tag.
+const invalidTag = ^uint64(0)
+
 // Cache is a set-associative, LRU-replacement cache array.
 type Cache struct {
 	cfg     Config
@@ -93,6 +98,13 @@ type Cache struct {
 	setMask uint64
 	tick    uint64 // global LRU clock
 	quota   []int  // per-VM way quotas (nil = unpartitioned)
+
+	// tags mirrors the resident tags contiguously (tags[set*assoc+way],
+	// invalidTag when empty) so the hot Lookup/Probe scans touch 8 bytes
+	// per way instead of a 32-byte Line; the LLC's 16-way set scan is one
+	// of the simulator's hottest loops. Insert and Invalidate keep the
+	// mirror in sync with the ways.
+	tags []uint64
 
 	// Stats are plain counters; the driving model reads them directly.
 	Accesses  uint64
@@ -118,10 +130,14 @@ func New(cfg Config) *Cache {
 		cfg:     cfg,
 		sets:    make([]set, nSets),
 		setMask: uint64(nSets - 1),
+		tags:    make([]uint64, nLines),
 	}
 	ways := make([]Line, nLines)
 	for i := range c.sets {
 		c.sets[i].ways = ways[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	return c
 }
@@ -144,10 +160,11 @@ func (c *Cache) setIndex(line sim.Addr) uint64 {
 func (c *Cache) Lookup(addr sim.Addr) (*Line, bool) {
 	line := sim.LineAddr(addr)
 	c.Accesses++
-	s := &c.sets[c.setIndex(line)]
-	for i := range s.ways {
-		w := &s.ways[i]
-		if w.valid && w.Tag == line {
+	si := c.setIndex(line)
+	base := int(si) * c.cfg.Assoc
+	for i, tg := range c.tags[base : base+c.cfg.Assoc] {
+		if tg == uint64(line) {
+			w := &c.sets[si].ways[i]
 			c.tick++
 			w.used = c.tick
 			c.Hits++
@@ -162,11 +179,11 @@ func (c *Cache) Lookup(addr sim.Addr) (*Line, bool) {
 // coherence layer for remote snoops and by snapshot accounting.
 func (c *Cache) Probe(addr sim.Addr) (*Line, bool) {
 	line := sim.LineAddr(addr)
-	s := &c.sets[c.setIndex(line)]
-	for i := range s.ways {
-		w := &s.ways[i]
-		if w.valid && w.Tag == line {
-			return w, true
+	si := c.setIndex(line)
+	base := int(si) * c.cfg.Assoc
+	for i, tg := range c.tags[base : base+c.cfg.Assoc] {
+		if tg == uint64(line) {
+			return &c.sets[si].ways[i], true
 		}
 	}
 	return nil, false
@@ -179,34 +196,36 @@ func (c *Cache) Probe(addr sim.Addr) (*Line, bool) {
 // programming error in the protocol driver and panics.
 func (c *Cache) Insert(addr sim.Addr, st State, vm uint8) (victim Line, evicted bool, line *Line) {
 	la := sim.LineAddr(addr)
-	s := &c.sets[c.setIndex(la)]
-	var lru *Line
+	si := c.setIndex(la)
+	s := &c.sets[si]
+	wi := -1
 	for i := range s.ways {
 		w := &s.ways[i]
 		if !w.valid {
-			lru = w
+			wi = i
 			break
 		}
 		if w.Tag == la {
 			panic(fmt.Sprintf("cache: double insert of line %#x", la))
 		}
-		if lru == nil || w.used < lru.used {
-			lru = w
+		if wi < 0 || w.used < s.ways[wi].used {
+			wi = i
 		}
 	}
-	if c.quota != nil && lru != nil && lru.valid {
-		if pv := c.partitionVictim(s, vm); pv != nil {
-			lru = pv
+	if c.quota != nil && s.ways[wi].valid {
+		if pv := c.partitionVictim(s, vm); pv >= 0 {
+			wi = pv
 		} else {
 			// An invalid way exists; find it.
 			for i := range s.ways {
 				if !s.ways[i].valid {
-					lru = &s.ways[i]
+					wi = i
 					break
 				}
 			}
 		}
 	}
+	lru := &s.ways[wi]
 	if lru.valid {
 		victim = *lru
 		evicted = true
@@ -214,6 +233,7 @@ func (c *Cache) Insert(addr sim.Addr, st State, vm uint8) (victim Line, evicted 
 	}
 	c.tick++
 	*lru = Line{Tag: la, State: st, VM: vm, used: c.tick, valid: true}
+	c.tags[int(si)*c.cfg.Assoc+wi] = uint64(la)
 	return victim, evicted, lru
 }
 
@@ -222,12 +242,15 @@ func (c *Cache) Insert(addr sim.Addr, st State, vm uint8) (victim Line, evicted 
 // back-invalidation.
 func (c *Cache) Invalidate(addr sim.Addr) (Line, bool) {
 	la := sim.LineAddr(addr)
-	s := &c.sets[c.setIndex(la)]
-	for i := range s.ways {
-		w := &s.ways[i]
-		if w.valid && w.Tag == la {
+	si := c.setIndex(la)
+	base := int(si) * c.cfg.Assoc
+	tags := c.tags[base : base+c.cfg.Assoc]
+	for i, tg := range tags {
+		if tg == uint64(la) {
+			w := &c.sets[si].ways[i]
 			old := *w
 			*w = Line{}
+			tags[i] = invalidTag
 			return old, true
 		}
 	}

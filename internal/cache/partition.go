@@ -44,35 +44,35 @@ func (c *Cache) quotaOf(vm uint8) int {
 	return c.quota[vm]
 }
 
-// partitionVictim picks the way to evict in set s for an insertion by vm,
-// honoring quotas. It returns nil if an invalid way exists (no eviction
-// needed).
-func (c *Cache) partitionVictim(s *set, vm uint8) *Line {
+// partitionVictim picks the way index to evict in set s for an insertion
+// by vm, honoring quotas. It returns -1 if an invalid way exists (no
+// eviction needed).
+func (c *Cache) partitionVictim(s *set, vm uint8) int {
 	var counts [256]int
-	var lruOwn, lruOver, lruAny *Line
+	lruOwn, lruOver, lruAny := -1, -1, -1
 	for i := range s.ways {
 		w := &s.ways[i]
 		if !w.valid {
-			return nil
+			return -1
 		}
 		counts[w.VM]++
-		if lruAny == nil || w.used < lruAny.used {
-			lruAny = w
+		if lruAny < 0 || w.used < s.ways[lruAny].used {
+			lruAny = i
 		}
 	}
 	for i := range s.ways {
 		w := &s.ways[i]
-		if w.VM == vm && (lruOwn == nil || w.used < lruOwn.used) {
-			lruOwn = w
+		if w.VM == vm && (lruOwn < 0 || w.used < s.ways[lruOwn].used) {
+			lruOwn = i
 		}
-		if counts[w.VM] > c.quotaOf(w.VM) && (lruOver == nil || w.used < lruOver.used) {
-			lruOver = w
+		if counts[w.VM] > c.quotaOf(w.VM) && (lruOver < 0 || w.used < s.ways[lruOver].used) {
+			lruOver = i
 		}
 	}
-	if lruOwn != nil && counts[vm] >= c.quotaOf(vm) {
+	if lruOwn >= 0 && counts[vm] >= c.quotaOf(vm) {
 		return lruOwn
 	}
-	if lruOver != nil {
+	if lruOver >= 0 {
 		return lruOver
 	}
 	return lruAny

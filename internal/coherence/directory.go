@@ -97,24 +97,57 @@ func (e *Entry) OtherL2(b int) int {
 	return bits.TrailingZeros64(m)
 }
 
-// Directory is the chip-wide line directory. Entries live in a map keyed
-// by block ID; the striping across home nodes affects only where lookups
-// are routed (latency), not where state is stored, so a single map keeps
-// the implementation simple and the behaviour identical.
+// dirSlot is one bucket of the directory's open-addressing table: the
+// block ID, the entry stored by value, and a liveness flag. Storing
+// entries inline (18 data bytes, no pointers) keeps the table out of the
+// garbage collector's scan set and makes the per-line state a single
+// cache-line-friendly read.
+type dirSlot struct {
+	key  uint64
+	live bool
+	e    Entry
+}
+
+// Directory is the chip-wide line directory. Entries live in a flat
+// open-addressed hash table keyed by block ID (linear probing, fibonacci
+// hashing, power-of-two capacity, backward-shift deletion — no
+// tombstones). The striping across home nodes affects only where lookups
+// are routed (latency), not where state is stored, so a single table
+// keeps the implementation simple and the behaviour identical.
+//
+// This replaced a map[uint64]*Entry: the map allocated one heap Entry per
+// tracked line (the dominant steady-state allocation of a whole
+// simulation) and paid Go's generic map hashing on every lookup of the
+// LLC transaction path. The flat table is allocation-free in steady
+// state; see RefDirectory for the retired map implementation, kept as the
+// oracle for the differential parity tests.
 type Directory struct {
-	nodes   int
-	entries map[uint64]*Entry
+	nodes int
+
+	slots []dirSlot
+	shift uint // 64 - log2(len(slots)); fibonacci-hash shift
+	used  int  // live slots
+	grow  int  // growth threshold (3/4 load)
 
 	// Lookups counts directory accesses; used by tests and reports.
 	Lookups uint64
 }
+
+// dirInitialSlots is the starting capacity (matching the map hint the
+// reference implementation used). Must be a power of two.
+const dirInitialSlots = 1 << 16
 
 // NewDirectory returns a directory striped across n home nodes.
 func NewDirectory(n int) *Directory {
 	if n <= 0 || n > MaxNodes {
 		panic(fmt.Sprintf("coherence: invalid node count %d (1..%d)", n, MaxNodes))
 	}
-	return &Directory{nodes: n, entries: make(map[uint64]*Entry, 1<<16)}
+	return &Directory{
+		nodes: n,
+		slots: make([]dirSlot, dirInitialSlots),
+		shift: 64 - uint(bits.TrailingZeros(dirInitialSlots)),
+		grow:  dirInitialSlots * 3 / 4,
+	}
 }
 
 // Nodes returns the number of home nodes.
@@ -126,45 +159,147 @@ func (d *Directory) Home(addr sim.Addr) int {
 	return int(sim.BlockID(addr) % uint64(d.nodes))
 }
 
-// Get returns the entry for addr, creating an empty one if absent.
-func (d *Directory) Get(addr sim.Addr) *Entry {
-	d.Lookups++
-	b := sim.BlockID(addr)
-	e, ok := d.entries[b]
-	if !ok {
-		ne := NewEntry()
-		e = &ne
-		d.entries[b] = e
-	}
-	return e
+// idx returns the home bucket of a block ID. Fibonacci (multiplicative)
+// hashing: block IDs are dense and strided, so the golden-ratio multiply
+// spreads them across the table before the power-of-two truncation.
+func (d *Directory) idx(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> d.shift
 }
 
-// Probe returns the entry for addr without creating one.
+// Get returns the entry for addr, creating an empty one if absent.
+//
+// Pointer validity: the returned *Entry points into the table and is
+// invalidated by the next insertion (a Get of an untracked line may grow
+// the table) or deletion (a Release may backward-shift neighbours). The
+// protocol driver in internal/core re-fetches entries after any such
+// operation instead of holding pointers across them.
+func (d *Directory) Get(addr sim.Addr) *Entry {
+	d.Lookups++
+	key := sim.BlockID(addr)
+	mask := uint64(len(d.slots) - 1)
+	for i := d.idx(key); ; i = (i + 1) & mask {
+		s := &d.slots[i]
+		if !s.live {
+			if d.used >= d.grow {
+				d.rehash()
+				return d.insert(key)
+			}
+			d.used++
+			s.key = key
+			s.live = true
+			s.e = NewEntry()
+			return &s.e
+		}
+		if s.key == key {
+			return &s.e
+		}
+	}
+}
+
+// insert places a key known to be absent and returns its entry.
+func (d *Directory) insert(key uint64) *Entry {
+	mask := uint64(len(d.slots) - 1)
+	i := d.idx(key)
+	for d.slots[i].live {
+		i = (i + 1) & mask
+	}
+	d.used++
+	d.slots[i] = dirSlot{key: key, live: true, e: NewEntry()}
+	return &d.slots[i].e
+}
+
+// rehash doubles the table and reinserts every live slot. The copy is a
+// single pointer-free pass, amortized over the quarter-capacity of
+// insertions that preceded it; in steady state (the directory is bounded
+// by on-chip lines, which Release reclaims) growth stops entirely.
+func (d *Directory) rehash() {
+	old := d.slots
+	d.slots = make([]dirSlot, 2*len(old))
+	d.shift--
+	d.grow = len(d.slots) * 3 / 4
+	mask := uint64(len(d.slots) - 1)
+	for oi := range old {
+		if !old[oi].live {
+			continue
+		}
+		i := d.idx(old[oi].key)
+		for d.slots[i].live {
+			i = (i + 1) & mask
+		}
+		d.slots[i] = old[oi]
+	}
+}
+
+// Probe returns the entry for addr without creating one. The returned
+// pointer has the same validity contract as Get's.
 func (d *Directory) Probe(addr sim.Addr) (*Entry, bool) {
-	e, ok := d.entries[sim.BlockID(addr)]
-	return e, ok
+	key := sim.BlockID(addr)
+	mask := uint64(len(d.slots) - 1)
+	for i := d.idx(key); ; i = (i + 1) & mask {
+		s := &d.slots[i]
+		if !s.live {
+			return nil, false
+		}
+		if s.key == key {
+			return &s.e, true
+		}
+	}
 }
 
 // Release removes the entry for addr if no cache holds the line; keeping
-// the map bounded by on-chip state keeps long runs from growing without
-// bound.
+// the table bounded by on-chip state keeps long runs from growing without
+// bound. Deletion is by backward shift: subsequent entries of the probe
+// cluster slide into the vacated bucket, so the table carries no
+// tombstones and lookups never scan dead slots.
 func (d *Directory) Release(addr sim.Addr) {
-	b := sim.BlockID(addr)
-	if e, ok := d.entries[b]; ok && !e.OnChip() {
-		delete(d.entries, b)
+	key := sim.BlockID(addr)
+	mask := uint64(len(d.slots) - 1)
+	i := d.idx(key)
+	for {
+		s := &d.slots[i]
+		if !s.live {
+			return
+		}
+		if s.key == key {
+			break
+		}
+		i = (i + 1) & mask
 	}
+	if d.slots[i].e.OnChip() {
+		return
+	}
+	d.used--
+	// Backward-shift: walk the cluster after i; any entry whose home
+	// bucket lies at or before the hole (cyclically) moves into it,
+	// re-opening the hole at its old position.
+	j := i
+	for {
+		j = (j + 1) & mask
+		s := &d.slots[j]
+		if !s.live {
+			break
+		}
+		if (j-d.idx(s.key))&mask >= (j-i)&mask {
+			d.slots[i] = *s
+			i = j
+		}
+	}
+	d.slots[i] = dirSlot{}
 }
 
 // Len returns the number of tracked lines (lines with on-chip state plus
 // any not yet released).
-func (d *Directory) Len() int { return len(d.entries) }
+func (d *Directory) Len() int { return d.used }
 
 // ReplicationSnapshot walks all tracked lines and reports how many are
 // resident in at least one LLC bank and how many in two or more (the
 // paper's Figure 12 metric).
 func (d *Directory) ReplicationSnapshot() (resident, replicated int) {
-	for _, e := range d.entries {
-		n := e.L2Count()
+	for i := range d.slots {
+		if !d.slots[i].live {
+			continue
+		}
+		n := d.slots[i].e.L2Count()
 		if n >= 1 {
 			resident++
 		}
@@ -179,19 +314,16 @@ func (d *Directory) ReplicationSnapshot() (resident, replicated int) {
 // returns the first violation found. Tests call this after randomized
 // traffic.
 func (d *Directory) CheckInvariants() error {
-	for b, e := range d.entries {
+	for i := range d.slots {
+		if !d.slots[i].live {
+			continue
+		}
+		b, e := d.slots[i].key, &d.slots[i].e
 		if e.L1Owner >= 0 && !e.HasL1(int(e.L1Owner)) {
 			return fmt.Errorf("block %#x: L1 owner %d not in sharer mask %016x", b, e.L1Owner, e.L1Sharers)
 		}
 		if e.L2Owner >= 0 && !e.HasL2(int(e.L2Owner)) {
 			return fmt.Errorf("block %#x: L2 owner %d not in bank mask %016x", b, e.L2Owner, e.L2Sharers)
-		}
-		if e.L1Owner >= 0 && e.L1Count() > 1 {
-			// A dirty private line may have shared copies only if the
-			// owner is in Owned state; the system model always downgrades
-			// through the directory, so concurrent dirty + other sharers
-			// is legal. Nothing to check beyond mask consistency.
-			_ = e
 		}
 	}
 	return nil

@@ -1,0 +1,96 @@
+package coherence
+
+import (
+	"fmt"
+
+	"consim/internal/sim"
+)
+
+// RefDirectory is the retired map-backed directory implementation, kept
+// verbatim as the oracle for the differential parity tests against the
+// flat open-addressed Directory. It is not used by the simulator: every
+// Get of an untracked line allocates a heap Entry, and the map's pointer
+// values put millions of objects in the GC scan set during long runs.
+type RefDirectory struct {
+	nodes   int
+	entries map[uint64]*Entry
+
+	// Lookups counts directory accesses.
+	Lookups uint64
+}
+
+// NewRefDirectory returns a reference directory striped across n nodes.
+func NewRefDirectory(n int) *RefDirectory {
+	if n <= 0 || n > MaxNodes {
+		panic(fmt.Sprintf("coherence: invalid node count %d (1..%d)", n, MaxNodes))
+	}
+	return &RefDirectory{
+		nodes:   n,
+		entries: make(map[uint64]*Entry, 1<<16),
+	}
+}
+
+// Nodes returns the number of home nodes.
+func (d *RefDirectory) Nodes() int { return d.nodes }
+
+// Home returns the node whose directory slice owns addr.
+func (d *RefDirectory) Home(addr sim.Addr) int {
+	return int(sim.BlockID(addr) % uint64(d.nodes))
+}
+
+// Get returns the entry for addr, creating an empty one if absent.
+func (d *RefDirectory) Get(addr sim.Addr) *Entry {
+	d.Lookups++
+	b := sim.BlockID(addr)
+	e, ok := d.entries[b]
+	if !ok {
+		ne := NewEntry()
+		e = &ne
+		d.entries[b] = e
+	}
+	return e
+}
+
+// Probe returns the entry for addr without creating one.
+func (d *RefDirectory) Probe(addr sim.Addr) (*Entry, bool) {
+	e, ok := d.entries[sim.BlockID(addr)]
+	return e, ok
+}
+
+// Release removes the entry for addr if no cache holds the line.
+func (d *RefDirectory) Release(addr sim.Addr) {
+	b := sim.BlockID(addr)
+	if e, ok := d.entries[b]; ok && !e.OnChip() {
+		delete(d.entries, b)
+	}
+}
+
+// Len returns the number of tracked lines.
+func (d *RefDirectory) Len() int { return len(d.entries) }
+
+// ReplicationSnapshot reports lines resident in >=1 and >=2 LLC banks.
+func (d *RefDirectory) ReplicationSnapshot() (resident, replicated int) {
+	for _, e := range d.entries {
+		n := e.L2Count()
+		if n >= 1 {
+			resident++
+		}
+		if n >= 2 {
+			replicated++
+		}
+	}
+	return resident, replicated
+}
+
+// CheckInvariants validates protocol invariants over all entries.
+func (d *RefDirectory) CheckInvariants() error {
+	for b, e := range d.entries {
+		if e.L1Owner >= 0 && !e.HasL1(int(e.L1Owner)) {
+			return fmt.Errorf("block %#x: L1 owner %d not in sharer mask %016x", b, e.L1Owner, e.L1Sharers)
+		}
+		if e.L2Owner >= 0 && !e.HasL2(int(e.L2Owner)) {
+			return fmt.Errorf("block %#x: L2 owner %d not in bank mask %016x", b, e.L2Owner, e.L2Sharers)
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"consim/internal/cache"
 	"consim/internal/coherence"
@@ -253,9 +254,12 @@ func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 	default:
 		pState = cache.Shared
 	}
+	// Record the new private sharer before filling: fillL1 can evict a
+	// victim whose directory Release reshapes the flat table, after which
+	// e must not be dereferenced.
+	e.AddL1(c)
 	s.fillL1(c, addr, pState, vtag)
 	s.fillL0(c, addr, pState, vtag)
-	e.AddL1(c)
 	return t
 }
 
@@ -275,11 +279,10 @@ func (s *System) invalidateOthers(at sim.Cycle, c int, addr sim.Addr, st *vm.Sta
 	e := s.dir.Get(addr)
 	ackT := t
 
-	// Private copies at other cores.
-	for o := 0; o < s.cfg.Cores; o++ {
-		if o == c || !e.HasL1(o) {
-			continue
-		}
+	// Private copies at other cores (ascending over the sharer mask,
+	// matching the core-index order of the scan this replaced).
+	for m := e.L1Sharers &^ (1 << uint(c)); m != 0; m &= m - 1 {
+		o := bits.TrailingZeros64(m)
 		a := s.route(t, home, o, CtrlFlits)
 		s.dropPrivate(o, addr)
 		a = s.route(a, o, c, CtrlFlits)
@@ -287,10 +290,8 @@ func (s *System) invalidateOthers(at sim.Cycle, c int, addr sim.Addr, st *vm.Sta
 		st.Invalidations++
 	}
 	// Bank copies in other groups.
-	for b := 0; b < s.cfg.Groups(); b++ {
-		if b == g || !e.HasL2(b) {
-			continue
-		}
+	for m := e.L2Sharers &^ (1 << uint(g)); m != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
 		node := s.bankNode(b, addr)
 		a := s.route(t, home, node, CtrlFlits)
 		if bl, ok := s.banks[b].Invalidate(addr); ok && bl.State.Dirty() {
@@ -315,13 +316,8 @@ func (s *System) invalidateOthers(at sim.Cycle, c int, addr sim.Addr, st *vm.Sta
 // Shared when a new sharer joins; without this a stale E copy could later
 // take the silent E->M upgrade while other copies exist.
 func (s *System) demoteExclusives(c int, addr sim.Addr, e *coherence.Entry) {
-	if e.L1Sharers == 0 {
-		return
-	}
-	for o := 0; o < s.cfg.Cores; o++ {
-		if o == c || !e.HasL1(o) {
-			continue
-		}
+	for m := e.L1Sharers &^ (1 << uint(c)); m != 0; m &= m - 1 {
+		o := bits.TrailingZeros64(m)
 		if ln, ok := s.l1[o].Probe(addr); ok && ln.State == cache.Exclusive {
 			ln.State = cache.Shared
 		}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"consim/internal/workload"
+)
+
+// TestSteadyStateAllocBudget is the allocation regression guard for the
+// per-reference access path: once the machine is warm (caches and
+// directory populated, event queue at its working size), simulating more
+// references must be allocation-free — the flat directory stores entries
+// by value, and everything else on the path reuses preallocated state.
+// The budget tolerates a handful of stragglers (a late directory-table
+// growth, runtime bookkeeping) but fails loudly if a per-reference
+// allocation sneaks back in.
+func TestSteadyStateAllocBudget(t *testing.T) {
+	specs := workload.Specs()
+	cfg := DefaultConfig(specs[workload.TPCW], specs[workload.SPECjbb],
+		specs[workload.TPCH], specs[workload.SPECweb])
+	cfg.Scale = 16
+	cfg.GroupSize = 4
+	cfg.WarmupRefs = 40_000
+	cfg.MeasureRefs = 40_000
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mirror Run()'s setup, then measure a second chunk after the first
+	// has warmed every structure.
+	for c := range sys.cores {
+		if sys.cores[c].active {
+			sys.q.Push(0, c)
+			sys.pending[c] = true
+		}
+	}
+	sys.runUntil(cfg.WarmupRefs)
+
+	const measuredRefs = 40_000 * 16 // per-core target x cores
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sys.runUntil(cfg.WarmupRefs + cfg.MeasureRefs)
+	runtime.ReadMemStats(&after)
+
+	allocs := after.Mallocs - before.Mallocs
+	perRef := float64(allocs) / float64(measuredRefs)
+	t.Logf("steady state: %d allocs over %d refs (%.6f allocs/ref, %d bytes)",
+		allocs, measuredRefs, perRef, after.TotalAlloc-before.TotalAlloc)
+	if perRef > 0.001 {
+		t.Fatalf("access path allocates: %.6f allocs/ref (budget 0.001)", perRef)
+	}
+}

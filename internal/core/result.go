@@ -86,6 +86,11 @@ type Result struct {
 	MemAvgWait      float64 // mean controller-queue cycles per demand read
 	DirCacheHitRate float64
 
+	// Hypervisor activity over the whole run (warm-up included):
+	// timeslice rotations and threads moved by dynamic rebalancing.
+	Switches   uint64
+	Migrations uint64
+
 	// Replication metadata, filled by the experiment harness when a
 	// configuration is run with multiple perturbed seeds (Alameldeen-
 	// Wood statistical simulation): Replicates is the merged run count

@@ -72,6 +72,14 @@ type System struct {
 	q   *sim.EventQueue
 
 	backInvals uint64
+
+	// Reusable scratch for rebalance and installPartitions; both fire
+	// every RebalanceCycles in the dynamic-scheduling study, and the
+	// per-call map/slice churn showed up in its profile.
+	scratchOldQueues [][]runnable
+	scratchThreads   []int
+	scratchPresent   []bool
+	scratchQuota     []int
 }
 
 // NewSystem builds and schedules a system from cfg. Construction errors
@@ -185,7 +193,10 @@ func NewSystem(cfg Config) (*System, error) {
 // scheduling study).
 func (s *System) rebalance() {
 	s.rebalanceSeed = s.rebalanceSeed*0x9e3779b97f4a7c15 + 1
-	vmThreads := make([]int, len(s.vms))
+	if s.scratchThreads == nil {
+		s.scratchThreads = make([]int, len(s.vms))
+	}
+	vmThreads := s.scratchThreads
 	for v := range s.vms {
 		vmThreads[v] = s.cfg.ThreadsOf(v)
 	}
@@ -194,12 +205,14 @@ func (s *System) rebalance() {
 	if err != nil {
 		return // placement unchanged; cannot happen with a validated config
 	}
-	old := make([]map[runnable]bool, s.cfg.Cores)
+	// Snapshot the outgoing queues into reusable scratch; queues are at
+	// most CoreCapacity long, so membership checks below are linear scans
+	// rather than the per-call map[runnable]bool this replaced.
+	if s.scratchOldQueues == nil {
+		s.scratchOldQueues = make([][]runnable, s.cfg.Cores)
+	}
 	for c := range s.cores {
-		old[c] = make(map[runnable]bool, len(s.cores[c].queue))
-		for _, run := range s.cores[c].queue {
-			old[c][run] = true
-		}
+		s.scratchOldQueues[c] = append(s.scratchOldQueues[c][:0], s.cores[c].queue...)
 		s.cores[c].queue = s.cores[c].queue[:0]
 		s.cores[c].cur = 0
 		s.cores[c].sliceEnd = s.now + s.cfg.TimesliceCycles
@@ -208,7 +221,7 @@ func (s *System) rebalance() {
 		for t, c := range asg[v] {
 			run := runnable{vmID: v, thread: t}
 			s.cores[c].queue = append(s.cores[c].queue, run)
-			if !old[c][run] {
+			if !containsRunnable(s.scratchOldQueues[c], run) {
 				s.Migrations++
 			}
 		}
@@ -227,6 +240,16 @@ func (s *System) rebalance() {
 	}
 }
 
+// containsRunnable reports whether queue holds run.
+func containsRunnable(queue []runnable, run runnable) bool {
+	for _, r := range queue {
+		if r == run {
+			return true
+		}
+	}
+	return false
+}
+
 // shareOf returns VM v's relative QoS share (1 when unweighted).
 func (s *System) shareOf(v int) int {
 	if len(s.cfg.QoSShares) > 0 {
@@ -239,26 +262,43 @@ func (s *System) shareOf(v int) int {
 // threads are scheduled on the bank's core group, proportionally to
 // their QoS shares.
 func (s *System) installPartitions() {
+	// present and quota are reused across calls (SetPartition copies);
+	// this replaced a fresh map[int]bool and []int per bank per call.
+	if s.scratchPresent == nil {
+		s.scratchPresent = make([]bool, len(s.vms))
+		s.scratchQuota = make([]int, len(s.vms))
+	}
+	present, quota := s.scratchPresent, s.scratchQuota
 	for g, bank := range s.banks {
-		present := map[int]bool{}
+		nPresent := 0
+		for v := range present {
+			present[v] = false
+		}
 		for c := g * s.cfg.GroupSize; c < (g+1)*s.cfg.GroupSize; c++ {
 			for _, run := range s.cores[c].queue {
-				present[run.vmID] = true
+				if !present[run.vmID] {
+					present[run.vmID] = true
+					nPresent++
+				}
 			}
 		}
-		if len(present) < 2 {
+		if nPresent < 2 {
 			continue // a single tenant needs no isolation
 		}
 		assoc := bank.Config().Assoc
 		totalShares := 0
-		for v := range present {
-			totalShares += s.shareOf(v)
+		for v, p := range present {
+			if p {
+				totalShares += s.shareOf(v)
+			}
 		}
-		quota := make([]int, len(s.vms))
 		for v := range quota {
 			quota[v] = assoc // absent VMs never insert here
 		}
-		for v := range present {
+		for v, p := range present {
+			if !p {
+				continue
+			}
 			q := assoc * s.shareOf(v) / totalShares
 			if q < 1 {
 				q = 1
@@ -350,6 +390,8 @@ func (s *System) Run() (Result, error) {
 		NetAvgHops:      s.net.AvgHops(),
 		MemAvgWait:      s.mem.AvgWait(),
 		DirCacheHitRate: s.dirCache.HitRate(),
+		Switches:        s.Switches,
+		Migrations:      s.Migrations,
 	}
 	for i, m := range s.vms {
 		spec := m.Gen.Spec()

@@ -33,14 +33,6 @@ func (r *Runner) ablationConfig() core.Config {
 	return cfg
 }
 
-func runCfg(cfg core.Config) (core.Result, error) {
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		return core.Result{}, err
-	}
-	return sys.Run()
-}
-
 // meanMissLat returns the VM-averaged private-miss latency.
 func meanMissLat(res core.Result) float64 {
 	sum := 0.0
@@ -78,14 +70,18 @@ func (r *Runner) AblateDirCache() (*Table, error) {
 		RowHead: "entries/node",
 		Columns: []string{"dir hit rate", "miss latency", "throughput"},
 	}
-	for _, entries := range []int{256, 1024, 4096, 16384, 65536} {
-		cfg := r.ablationConfig()
-		cfg.DirCacheEntries = entries
-		res, err := runCfg(cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(fmt.Sprintf("%d", entries), res.DirCacheHitRate, meanMissLat(res), throughput(res))
+	sizes := []int{256, 1024, 4096, 16384, 65536}
+	cfgs := make([]core.Config, len(sizes))
+	for i, entries := range sizes {
+		cfgs[i] = r.ablationConfig()
+		cfgs[i].DirCacheEntries = entries
+	}
+	results, err := r.runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		t.Add(fmt.Sprintf("%d", sizes[i]), res.DirCacheHitRate, meanMissLat(res), throughput(res))
 	}
 	t.Note("larger directory caches keep coherence lookups on chip; the paper adds them \"to reduce the number of off-chip references\"")
 	return t, nil
@@ -106,19 +102,23 @@ func (r *Runner) AblateMemControllers() (*Table, error) {
 		4: {0, 3, 12, 15},
 		8: {0, 1, 2, 3, 12, 13, 14, 15},
 	}
-	for _, n := range []int{1, 2, 4, 8} {
-		cfg := r.ablationConfig()
-		cfg.Mem = memctrl.Config{
+	counts := []int{1, 2, 4, 8}
+	cfgs := make([]core.Config, len(counts))
+	for i, n := range counts {
+		cfgs[i] = r.ablationConfig()
+		cfgs[i].Mem = memctrl.Config{
 			Controllers: n,
 			Latency:     core.DefaultMemLatency,
 			Occupancy:   20,
 			Nodes:       layouts[n],
 		}
-		res, err := runCfg(cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(fmt.Sprintf("%d", n), res.MemAvgWait, meanMissLat(res), throughput(res))
+	}
+	results, err := r.runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		t.Add(fmt.Sprintf("%d", counts[i]), res.MemAvgWait, meanMissLat(res), throughput(res))
 	}
 	t.Note("fewer controllers concentrate demand; queueing grows as cache interference pushes more requests off chip")
 	return t, nil
@@ -133,14 +133,18 @@ func (r *Runner) AblateRouterPipeline() (*Table, error) {
 		RowHead: "stages",
 		Columns: []string{"miss latency", "miss rate", "throughput"},
 	}
-	for _, stages := range []int{1, 2, 3, 5} {
-		cfg := r.ablationConfig()
-		cfg.PipeStages = stages
-		res, err := runCfg(cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(fmt.Sprintf("%d", stages), meanMissLat(res), meanMissRate(res), throughput(res))
+	depths := []int{1, 2, 3, 5}
+	cfgs := make([]core.Config, len(depths))
+	for i, stages := range depths {
+		cfgs[i] = r.ablationConfig()
+		cfgs[i].PipeStages = stages
+	}
+	results, err := r.runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		t.Add(fmt.Sprintf("%d", depths[i]), meanMissLat(res), meanMissRate(res), throughput(res))
 	}
 	t.Note("deeper routers stretch every coherence and memory round trip; miss *rates* stay fixed (content is latency-independent)")
 	return t, nil
@@ -156,7 +160,9 @@ func (r *Runner) AblateTimeslice() (*Table, error) {
 		Columns: []string{"switches/Mcycle", "miss rate", "throughput"},
 	}
 	all := workload.Specs()
-	for _, q := range []sim.Cycle{2_000, 10_000, 50_000, 250_000} {
+	quanta := []sim.Cycle{2_000, 10_000, 50_000, 250_000}
+	cfgs := make([]core.Config, len(quanta))
+	for i, q := range quanta {
 		cfg := core.DefaultConfig(
 			all[workload.SPECjbb], all[workload.SPECjbb],
 			all[workload.TPCW], all[workload.TPCW],
@@ -168,16 +174,15 @@ func (r *Runner) AblateTimeslice() (*Table, error) {
 		cfg.WarmupRefs = r.opt.WarmupRefs
 		cfg.MeasureRefs = r.opt.MeasureRefs
 		cfg.TimesliceCycles = q
-		sys, err := core.NewSystem(cfg)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sys.Run()
-		if err != nil {
-			return nil, err
-		}
-		perM := float64(sys.Switches) / (float64(res.Cycles) / 1e6)
-		t.Add(fmt.Sprintf("%d", q), perM, meanMissRate(res), throughput(res))
+		cfgs[i] = cfg
+	}
+	results, err := r.runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		perM := float64(res.Switches) / (float64(res.Cycles) / 1e6)
+		t.Add(fmt.Sprintf("%d", quanta[i]), perM, meanMissRate(res), throughput(res))
 	}
 	t.Note("short quanta churn the private caches and pay hypervisor switch costs; long quanta starve co-runners between rotations")
 	return t, nil
@@ -197,25 +202,37 @@ func (r *Runner) VariabilityStudy(replicates int) (*Table, error) {
 		RowHead: "mix/vm",
 		Columns: []string{"mean cyc/tx", "ci95", "cv"},
 	}
-	for _, mixID := range []string{"B", "5", "8"} {
+	// Flatten mixes x replicates into one batch so every replicate of
+	// every mix runs through the worker pool concurrently.
+	mixIDs := []string{"B", "5", "8"}
+	mixes := make([]Mix, len(mixIDs))
+	var cfgs []core.Config
+	all := workload.Specs()
+	for m, mixID := range mixIDs {
 		mix, err := MixByID(mixID)
 		if err != nil {
 			return nil, err
 		}
+		mixes[m] = mix
 		specs := make([]workload.Spec, len(mix.Classes))
-		all := workload.Specs()
 		for i, c := range mix.Classes {
 			specs[i] = all[c]
 		}
-		perVM := make([]stats.Sample, len(mix.Classes))
 		for rep := 0; rep < replicates; rep++ {
 			cfg := r.ablationConfig()
 			cfg.Workloads = specs
 			cfg.Seed = r.opt.Seed + uint64(rep)*7919
-			res, err := runCfg(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := r.runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for m, mix := range mixes {
+		perVM := make([]stats.Sample, len(mix.Classes))
+		for rep := 0; rep < replicates; rep++ {
+			res := results[m*replicates+rep]
 			for v := range res.VMs {
 				perVM[v].Add(res.VMs[v].CyclesPerTx)
 			}
@@ -239,15 +256,19 @@ func (r *Runner) AblateMemoryLatency() (*Table, error) {
 		RowHead: "DRAM cycles",
 		Columns: []string{"miss latency", "miss rate", "throughput"},
 	}
-	for _, lat := range []sim.Cycle{75, 150, 300, 600} {
-		cfg := r.ablationConfig()
-		cfg.Mem = memctrl.DefaultConfig()
-		cfg.Mem.Latency = lat
-		res, err := runCfg(cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(fmt.Sprintf("%d", lat), meanMissLat(res), meanMissRate(res), throughput(res))
+	lats := []sim.Cycle{75, 150, 300, 600}
+	cfgs := make([]core.Config, len(lats))
+	for i, lat := range lats {
+		cfgs[i] = r.ablationConfig()
+		cfgs[i].Mem = memctrl.DefaultConfig()
+		cfgs[i].Mem.Latency = lat
+	}
+	results, err := r.runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		t.Add(fmt.Sprintf("%d", lats[i]), meanMissLat(res), meanMissRate(res), throughput(res))
 	}
 	t.Note("throughput falls near-linearly with DRAM latency on blocking in-order cores; miss rates stay fixed")
 	return t, nil

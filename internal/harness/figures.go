@@ -492,3 +492,37 @@ func (r *Runner) RunFigure(id string) (*Table, error) {
 	}
 	return nil, fmt.Errorf("harness: unknown figure %q", id)
 }
+
+// RunFigures produces the requested artifacts, scheduling every figure's
+// runs through the runner's one deduplicated work queue: figures are
+// dispatched concurrently (up to Options.Parallel simulations in flight
+// across the whole batch), and configurations shared between figures —
+// the isolation baselines feed F2 through F7 — simulate exactly once,
+// with single-flight latching instead of each figure re-deriving them.
+// Tables come back in request order; IDs are validated up front.
+func (r *Runner) RunFigures(ids ...string) ([]*Table, error) {
+	known := make(map[string]bool, len(FigureIDs()))
+	for _, id := range FigureIDs() {
+		known[id] = true
+	}
+	for _, id := range ids {
+		if !known[id] {
+			return nil, fmt.Errorf("harness: unknown figure %q", id)
+		}
+	}
+	tables := make([]*Table, len(ids))
+	err := r.parallelDo(len(ids), func(i int) error {
+		t, err := r.RunFigure(ids[i])
+		tables[i] = t
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tables, nil
+}
+
+// RunAll produces every figure artifact through one shared work queue.
+func (r *Runner) RunAll() ([]*Table, error) {
+	return r.RunFigures(FigureIDs()...)
+}

@@ -2,7 +2,9 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"consim/internal/core"
 	"consim/internal/sched"
@@ -24,8 +26,10 @@ type Options struct {
 	SnapshotRefs uint64
 	// Seed drives all randomness.
 	Seed uint64
-	// Parallel runs independent simulations on this many goroutines
-	// (0 = 1). Each simulation is single-threaded and deterministic.
+	// Parallel bounds the number of simulations in flight at once. Each
+	// simulation is single-threaded and deterministic given its seed, so
+	// parallelism changes wall time only, never results. 0 (the default)
+	// means runtime.GOMAXPROCS(0); 1 forces fully serial execution.
 	Parallel int
 	// Replicates runs each configuration this many times with perturbed
 	// seeds and reports merged metrics, per the Alameldeen-Wood
@@ -55,13 +59,33 @@ type runKey struct {
 	policy    sched.Policy
 }
 
+// call is one in-flight simulation; waiters block on done and then read
+// res/err (the channel close publishes the writes).
+type call struct {
+	done chan struct{}
+	res  core.Result
+	err  error
+}
+
 // Runner executes and memoizes simulations: the figure runners share
 // isolation baselines heavily, and sweeps revisit configurations.
+//
+// Memoization is single-flight: when several goroutines ask for the same
+// runKey, exactly one simulates and the rest wait for its result. All
+// execution — memoized or not — funnels through one worker pool of
+// Options.Parallel slots, so an entire figure suite scheduled at once
+// (RunFigures) keeps a bounded number of simulations in flight no matter
+// how the figures fan out internally. A Runner is safe for concurrent
+// use.
 type Runner struct {
 	opt Options
+	sem chan struct{} // worker-pool slots; held only while simulating
 
-	mu    sync.Mutex
-	cache map[runKey]core.Result
+	mu       sync.Mutex
+	cache    map[runKey]core.Result
+	inflight map[runKey]*call
+
+	sims atomic.Uint64 // simulations actually executed (not deduplicated)
 }
 
 // NewRunner returns a Runner with the given options.
@@ -75,11 +99,26 @@ func NewRunner(opt Options) *Runner {
 	if opt.MeasureRefs == 0 {
 		opt.MeasureRefs = DefaultOptions().MeasureRefs
 	}
-	return &Runner{opt: opt, cache: make(map[runKey]core.Result)}
+	if opt.Parallel <= 0 {
+		opt.Parallel = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		opt:      opt,
+		sem:      make(chan struct{}, opt.Parallel),
+		cache:    make(map[runKey]core.Result),
+		inflight: make(map[runKey]*call),
+	}
 }
 
-// Options returns the runner's options.
+// Options returns the runner's options (after defaulting).
 func (r *Runner) Options() Options { return r.opt }
+
+// Sims returns how many simulations the runner has actually executed
+// (replicates counted individually). With memoization and single-flight
+// deduplication this counts distinct units of real work, regardless of
+// how many times figures re-requested them; tests use it to assert
+// deduplication.
+func (r *Runner) Sims() uint64 { return r.sims.Load() }
 
 func (r *Runner) config(specs []workload.Spec, groupSize int, policy sched.Policy) core.Config {
 	cfg := core.DefaultConfig(specs...)
@@ -93,13 +132,47 @@ func (r *Runner) config(specs []workload.Spec, groupSize int, policy sched.Polic
 	return cfg
 }
 
+// run returns the memoized result for key, computing it at most once:
+// the first goroutine to miss installs an in-flight latch and simulates;
+// concurrent requesters for the same key wait on the latch instead of
+// duplicating the work (the seed implementation's check-then-act window
+// simulated twice under a parallel sweep). Errors are returned to every
+// waiter and not cached, so a later request retries.
 func (r *Runner) run(key runKey, cfg core.Config) (core.Result, error) {
 	r.mu.Lock()
 	if res, ok := r.cache[key]; ok {
 		r.mu.Unlock()
 		return res, nil
 	}
+	if c, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	r.inflight[key] = c
 	r.mu.Unlock()
+
+	c.res, c.err = r.execute(cfg)
+
+	r.mu.Lock()
+	if c.err == nil {
+		r.cache[key] = c.res
+	}
+	delete(r.inflight, key)
+	r.mu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}
+
+// execute simulates cfg (with replicates) inside a worker-pool slot. The
+// slot is acquired here rather than at goroutine spawn so that nested
+// fan-out (RunFigures over figures over runs) can enqueue freely: only
+// goroutines actually simulating hold a slot, and single-flight waiters
+// hold none, so the pool cannot deadlock on its own feedback.
+func (r *Runner) execute(cfg core.Config) (core.Result, error) {
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
 
 	reps := r.opt.Replicates
 	if reps < 1 {
@@ -109,21 +182,38 @@ func (r *Runner) run(key runKey, cfg core.Config) (core.Result, error) {
 	for i := 0; i < reps; i++ {
 		repCfg := cfg
 		repCfg.Seed = cfg.Seed + uint64(i)*0x9e37
-		sys, err := core.NewSystem(repCfg)
-		if err != nil {
-			return core.Result{}, err
-		}
-		res, err := sys.Run()
+		res, err := r.simulate(repCfg)
 		if err != nil {
 			return core.Result{}, err
 		}
 		results = append(results, res)
 	}
-	res := mergeResults(results)
-	r.mu.Lock()
-	r.cache[key] = res
-	r.mu.Unlock()
-	return res, nil
+	return mergeResults(results), nil
+}
+
+// simulate builds and runs one system, counting the execution.
+func (r *Runner) simulate(cfg core.Config) (core.Result, error) {
+	r.sims.Add(1)
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return sys.Run()
+}
+
+// runConfigs executes a batch of non-memoized configurations (ablation
+// and calibration sweeps, whose configs differ in ways runKey does not
+// describe) through the worker pool, preserving order.
+func (r *Runner) runConfigs(cfgs []core.Config) ([]core.Result, error) {
+	out := make([]core.Result, len(cfgs))
+	err := r.parallelDo(len(cfgs), func(i int) error {
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+		res, err := r.simulate(cfgs[i])
+		out[i] = res
+		return err
+	})
+	return out, err
 }
 
 // mergeResults folds replicated runs into one Result: counters are
@@ -213,11 +303,15 @@ func (r *Runner) IsolationShared4Affinity(class workload.Class) (core.VMResult, 
 	return res.VMs[0], nil
 }
 
-// parallelDo runs fn(i) for i in [0, n) on up to opt.Parallel goroutines.
-// Errors abort with the first failure.
+// parallelDo runs fn(i) for i in [0, n) concurrently and waits for all
+// of them, returning the lowest-index error (deterministic regardless of
+// completion order). It spawns freely: throughput is bounded by the
+// runner's worker pool, which fn acquires only while actually
+// simulating, so nesting parallelDo (a figure suite fanning out over
+// figures that fan out over runs) cannot deadlock the pool. Parallel <= 1
+// degrades to a plain serial loop.
 func (r *Runner) parallelDo(n int, fn func(int) error) error {
-	workers := r.opt.Parallel
-	if workers <= 1 {
+	if r.opt.Parallel <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
 				return err
@@ -225,26 +319,22 @@ func (r *Runner) parallelDo(n int, fn func(int) error) error {
 		}
 		return nil
 	}
-	type res struct {
-		i   int
-		err error
-	}
-	sem := make(chan struct{}, workers)
-	out := make(chan res, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
 	for i := 0; i < n; i++ {
-		sem <- struct{}{}
 		go func(i int) {
-			defer func() { <-sem }()
-			out <- res{i, fn(i)}
+			defer wg.Done()
+			errs[i] = fn(i)
 		}(i)
 	}
-	var first error
-	for i := 0; i < n; i++ {
-		if rr := <-out; rr.err != nil && first == nil {
-			first = rr.err
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return first
+	return nil
 }
 
 // groupSizeName labels an LLC grouping the way the paper's figures do.

@@ -80,6 +80,10 @@ type Zipf struct {
 	theta   float64
 	oneMinT float64
 	inv     float64
+	// hiM1 is (n+1)^(1-theta) - 1, a per-sampler constant of the inverse
+	// CDF hoisted out of Sample; math.Pow is a large share of generator
+	// cost and this half is invariant across samples.
+	hiM1 float64
 }
 
 // NewZipf returns a sampler over [0, n) with skew theta in (0, 1) U (1, inf).
@@ -93,7 +97,10 @@ func NewZipf(n uint64, theta float64) *Zipf {
 		theta = 0.999
 	}
 	om := 1 - theta
-	return &Zipf{n: n, theta: theta, oneMinT: om, inv: 1 / om}
+	return &Zipf{
+		n: n, theta: theta, oneMinT: om, inv: 1 / om,
+		hiM1: math.Pow(float64(n+1), om) - 1,
+	}
 }
 
 // Sample draws a rank using randomness from r.
@@ -101,8 +108,7 @@ func (z *Zipf) Sample(r *RNG) uint64 {
 	// Inverse CDF of the continuous power-law on [1, n+1):
 	// x = ((n+1)^(1-t) - 1) * u + 1, rank = floor(x^(1/(1-t))) - 1.
 	u := r.Float64()
-	hi := math.Pow(float64(z.n+1), z.oneMinT)
-	x := (hi-1)*u + 1
+	x := z.hiM1*u + 1
 	rank := uint64(math.Pow(x, z.inv)) - 1
 	if rank >= z.n {
 		rank = z.n - 1

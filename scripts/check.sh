@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 gate: vet, build, race-enabled tests, and the allocation-budget
+# guards. Run from the repo root before sending a change.
+#
+#   scripts/check.sh           # short mode (~10 minutes on one core)
+#   FULL=1 scripts/check.sh    # full test suite (tens of minutes)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+if [ "${FULL:-}" = "1" ]; then
+	go test -race ./...
+else
+	go test -race -short ./...
+fi
+
+echo "== allocation budgets =="
+# Steady-state simulation loop must not allocate (perf regression guard).
+go test -run 'TestSteadyStateAllocBudget' ./internal/core
+go test -run 'TestDirectorySteadyStateAllocs' ./internal/coherence
+
+echo "check.sh: OK"
