@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"consim"
+	"consim/internal/obs"
 )
 
 func main() {
@@ -26,7 +27,18 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to keep in flight at once")
 	)
+	var ocli obs.CLI
+	ocli.Register(flag.CommandLine)
 	flag.Parse()
+
+	o, ostop, err := ocli.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
+	}
+	if o != nil {
+		o.Parallel = *parallel
+	}
 
 	ids := consim.AblationIDs()
 	if *exp != "" {
@@ -34,16 +46,21 @@ func main() {
 	}
 	r := consim.NewRunner(consim.RunnerOptions{
 		Scale: *scale, WarmupRefs: *warm, MeasureRefs: *meas, Seed: *seed,
-		Parallel: *parallel,
+		Parallel: *parallel, Obs: o,
 	})
 	for _, id := range ids {
 		start := time.Now()
 		t, err := r.RunAblation(strings.TrimSpace(id))
 		if err != nil {
+			ostop() //nolint:errcheck // the primary error wins
 			fmt.Fprintln(os.Stderr, "ablate:", err)
 			os.Exit(1)
 		}
 		fmt.Println(t.Text())
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if err := ostop(); err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"consim"
+	"consim/internal/obs"
 )
 
 // Report is the schema of BENCH_consim.json.
@@ -52,6 +53,21 @@ type Report struct {
 	// Figure suite wall times (seconds), at the benchmark scale.
 	FigureParallel int                `json:"figure_parallel,omitempty"`
 	FigureSeconds  map[string]float64 `json:"figure_seconds,omitempty"`
+	// SweepWallSeconds is the whole figure suite's wall time and
+	// PeakRSSBytes the largest runtime.MemStats.Sys observed across the
+	// run — the memory the sweep actually held from the OS.
+	SweepWallSeconds float64 `json:"sweep_wall_seconds,omitempty"`
+	PeakRSSBytes     uint64  `json:"peak_rss_bytes"`
+}
+
+// peakSys returns the high-water mark of memory obtained from the OS.
+func peakSys(prev uint64) uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.Sys > prev {
+		return ms.Sys
+	}
+	return prev
 }
 
 func main() {
@@ -74,7 +90,7 @@ func benchCfg(scale int, warm, meas uint64) consim.Config {
 	return cfg
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		scale    = flag.Int("scale", 16, "throughput run scale divisor")
 		warm     = flag.Uint64("warm", 10_000, "warm-up references per core")
@@ -84,7 +100,22 @@ func run() error {
 		figures  = flag.String("figures", "T2,F2,F12", "comma-separated figure IDs to time (empty = skip)")
 		out      = flag.String("out", "BENCH_consim.json", "report path (- = stdout)")
 	)
+	var ocli obs.CLI
+	ocli.Register(flag.CommandLine)
 	flag.Parse()
+
+	o, ostop, oerr := ocli.Start(os.Stderr)
+	if oerr != nil {
+		return oerr
+	}
+	defer func() {
+		if cerr := ostop(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if o != nil {
+		o.Parallel = *parallel
+	}
 
 	rep := Report{
 		GoVersion:   runtime.Version(),
@@ -131,6 +162,7 @@ func run() error {
 	perRef := float64(rep.RefsPerRun) * float64(*iters)
 	rep.BytesPerRef = bytesSum / perRef
 	rep.AllocsPerRef = allocsSum / perRef
+	rep.PeakRSSBytes = peakSys(rep.PeakRSSBytes)
 
 	// Figure suite timings through the single-flight parallel runner.
 	if ids := strings.TrimSpace(*figures); ids != "" {
@@ -138,8 +170,9 @@ func run() error {
 		rep.FigureSeconds = make(map[string]float64)
 		r := consim.NewRunner(consim.RunnerOptions{
 			Scale: *scale, WarmupRefs: *warm, MeasureRefs: *meas,
-			Parallel: *parallel,
+			Parallel: *parallel, Obs: o,
 		})
+		sweepStart := time.Now()
 		for _, id := range strings.Split(ids, ",") {
 			id = strings.TrimSpace(id)
 			start := time.Now()
@@ -147,8 +180,10 @@ func run() error {
 				return err
 			}
 			rep.FigureSeconds[id] = time.Since(start).Seconds()
+			rep.PeakRSSBytes = peakSys(rep.PeakRSSBytes)
 			fmt.Fprintf(os.Stderr, "[figure %s: %.2fs]\n", id, rep.FigureSeconds[id])
 		}
+		rep.SweepWallSeconds = time.Since(sweepStart).Seconds()
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -13,6 +13,7 @@ import (
 
 	"consim"
 	"consim/internal/core"
+	"consim/internal/obs"
 	"consim/internal/workload"
 )
 
@@ -23,7 +24,16 @@ func main() {
 	only := flag.String("only", "", "run a single workload by name")
 	gradient := flag.Bool("gradient", false, "also print the capacity gradient (miss rate and runtime at shared/shared-4/private)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to keep in flight at once")
+	var ocli obs.CLI
+	ocli.Register(flag.CommandLine)
 	flag.Parse()
+
+	o, ostop, err := ocli.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer ostop() //nolint:errcheck // diagnostics-only sinks
 
 	gradientSizes := []int{16, 4, 1}
 
@@ -52,10 +62,21 @@ func main() {
 			}
 		}
 	}
+	for i := range cfgs {
+		cfgs[i].Obs = o.Hooks()
+	}
 	results, err := consim.RunConfigs(cfgs, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if o != nil && o.Man != nil {
+		for i := range cfgs {
+			if err := o.Man.Write(core.ManifestFor(cfgs[i], results[i], *parallel)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	perSpec := 1

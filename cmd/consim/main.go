@@ -21,6 +21,8 @@ import (
 	"strings"
 
 	"consim"
+	"consim/internal/core"
+	"consim/internal/obs"
 	"consim/internal/workload"
 )
 
@@ -134,7 +136,7 @@ func parseGroups(s string) ([]int, error) {
 	return out, nil
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		mixID     = flag.String("mix", "", "Table IV mix to run (1-9, A-D); overrides -workloads")
 		workloads = flag.String("workloads", "TPC-H", "comma-separated workload names (one VM each)")
@@ -149,7 +151,19 @@ func run() error {
 		regions   = flag.Bool("regions", false, "break each VM's LLC misses down by footprint region")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to keep in flight when sweeping -group")
 	)
+	var ocli obs.CLI
+	ocli.Register(flag.CommandLine)
 	flag.Parse()
+
+	o, ostop, oerr := ocli.Start(os.Stderr)
+	if oerr != nil {
+		return oerr
+	}
+	defer func() {
+		if cerr := ostop(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	var specs []consim.WorkloadSpec
 	if *mixID != "" {
@@ -195,6 +209,7 @@ func run() error {
 	if len(groups) == 1 {
 		// Single configuration: report the machine before the (possibly
 		// long) run starts.
+		cfgs[0].Obs = o.Hooks()
 		sys, err := consim.NewSystem(cfgs[0])
 		if err != nil {
 			return err
@@ -203,6 +218,11 @@ func run() error {
 		res, err := sys.Run()
 		if err != nil {
 			return err
+		}
+		if o != nil && o.Man != nil {
+			if err := o.Man.Write(core.ManifestFor(cfgs[0], res, 1)); err != nil {
+				return err
+			}
 		}
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
@@ -214,9 +234,19 @@ func run() error {
 	}
 
 	// Group sweep: simulate every size concurrently, print in order.
+	for i := range cfgs {
+		cfgs[i].Obs = o.Hooks()
+	}
 	results, err := consim.RunConfigs(cfgs, *parallel)
 	if err != nil {
 		return err
+	}
+	if o != nil && o.Man != nil {
+		for i := range cfgs {
+			if err := o.Man.Write(core.ManifestFor(cfgs[i], results[i], *parallel)); err != nil {
+				return err
+			}
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"consim"
+	"consim/internal/obs"
 )
 
 func main() {
@@ -31,7 +32,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		exp      = flag.String("exp", "", "comma-separated artifact IDs (default: all of T2,F2..F13)")
 		scale    = flag.Int("scale", 1, "divide cache capacities and footprints")
@@ -41,7 +42,22 @@ func run() error {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to keep in flight at once")
 		format   = flag.String("format", "text", "output format: text, md, csv, bars")
 	)
+	var ocli obs.CLI
+	ocli.Register(flag.CommandLine)
 	flag.Parse()
+
+	o, ostop, oerr := ocli.Start(os.Stderr)
+	if oerr != nil {
+		return oerr
+	}
+	defer func() {
+		if cerr := ostop(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if o != nil {
+		o.Parallel = *parallel
+	}
 
 	ids := consim.FigureIDs()
 	if *exp != "" {
@@ -57,6 +73,7 @@ func run() error {
 		WarmupRefs:  *warm,
 		MeasureRefs: *meas,
 		Parallel:    *parallel,
+		Obs:         o,
 	})
 
 	// The whole batch goes through one deduplicated work queue: shared

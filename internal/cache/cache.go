@@ -257,6 +257,12 @@ func (c *Cache) Invalidate(addr sim.Addr) (Line, bool) {
 	return Line{}, false
 }
 
+// Counters returns the access counters in one call — the shape the
+// observability layer's per-level gauges publish on a cadence.
+func (c *Cache) Counters() (accesses, hits, misses, evictions uint64) {
+	return c.Accesses, c.Hits, c.Misses, c.Evictions
+}
+
 // MissRate returns misses/accesses, or 0 for an untouched cache.
 func (c *Cache) MissRate() float64 {
 	if c.Accesses == 0 {

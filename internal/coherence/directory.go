@@ -375,6 +375,9 @@ func (dc *DirCache) Access(home int, addr sim.Addr) bool {
 	return false
 }
 
+// Accesses returns total lookups (hits + misses), for live gauges.
+func (dc *DirCache) Accesses() uint64 { return dc.Hits + dc.Misses }
+
 // HitRate returns hits/(hits+misses), or 1 if untouched.
 func (dc *DirCache) HitRate() float64 {
 	t := dc.Hits + dc.Misses

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"testing"
 
+	"consim/internal/obs"
 	"consim/internal/workload"
 )
 
@@ -15,6 +16,10 @@ import (
 // The budget tolerates a handful of stragglers (a late directory-table
 // growth, runtime bookkeeping) but fails loudly if a per-reference
 // allocation sneaks back in.
+//
+// The run executes with live metrics attached: the observability
+// layer's publish cadence (shard slot writes, histogram observes) is
+// part of the guarded path and must stay allocation-free too.
 func TestSteadyStateAllocBudget(t *testing.T) {
 	specs := workload.Specs()
 	cfg := DefaultConfig(specs[workload.TPCW], specs[workload.SPECjbb],
@@ -23,6 +28,7 @@ func TestSteadyStateAllocBudget(t *testing.T) {
 	cfg.GroupSize = 4
 	cfg.WarmupRefs = 40_000
 	cfg.MeasureRefs = 40_000
+	cfg.Obs = obs.NewObserver(nil, nil, nil).Hooks()
 	sys, err := NewSystem(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -9,9 +9,11 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"consim/internal/coherence"
 	"consim/internal/memctrl"
+	"consim/internal/obs"
 	"consim/internal/sched"
 	"consim/internal/sim"
 	"consim/internal/workload"
@@ -126,6 +128,12 @@ type Config struct {
 	// LLCBytes optionally overrides the aggregate LLC capacity before
 	// scaling (default Table III 16MB).
 	LLCBytes int
+
+	// Obs attaches the observability hooks (metric shard, tracer lane,
+	// progress) the run publishes through; nil runs unobserved. The
+	// hot-path publish cadence keeps the steady-state loop
+	// allocation-free either way.
+	Obs *obs.RunHooks `json:"-"`
 }
 
 // DefaultConfig returns the paper's machine around the given workloads.
@@ -259,6 +267,23 @@ func (c Config) CoreCapacity() int {
 
 // Groups returns the number of LLC bank groups.
 func (c Config) Groups() int { return c.Cores / c.GroupSize }
+
+// Label names the configuration for traces, manifests and progress
+// lines: workloads, LLC organization, policy, scale and seed.
+func (c Config) Label() string {
+	names := make([]string, len(c.Workloads))
+	for i, w := range c.Workloads {
+		names[i] = w.Name
+	}
+	label := fmt.Sprintf("%s %s/%s", strings.Join(names, "+"), c.SharingName(), c.Policy)
+	if c.Scale > 1 {
+		label += fmt.Sprintf(" 1/%d", c.Scale)
+	}
+	if c.Seed != 1 {
+		label += fmt.Sprintf(" seed=%d", c.Seed)
+	}
+	return label
+}
 
 // SharingName returns the paper's label for the cache organization.
 func (c Config) SharingName() string {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"consim/internal/obs"
 	"consim/internal/sim"
 	"consim/internal/vm"
 	"consim/internal/workload"
@@ -98,6 +99,47 @@ type Result struct {
 	// cycles-per-transaction across replicates.
 	Replicates int
 	CptCV      []float64
+
+	// WallSeconds is host wall-clock time spent simulating (summed over
+	// replicates when merged); provenance for run manifests, not a
+	// simulated quantity.
+	WallSeconds float64
+}
+
+// ManifestFor stamps a run manifest from a finished result: what was
+// simulated (label, workloads, organization, scale, seed, budgets) and
+// what it cost (simulated refs and cycles, host wall time). The caller
+// fills process-wide fields (CPU time, tool version, git revision) via
+// ManifestWriter.Write.
+func ManifestFor(cfg Config, res Result, parallel int) obs.Manifest {
+	names := make([]string, len(cfg.Workloads))
+	for i, w := range cfg.Workloads {
+		names[i] = w.Name
+	}
+	var refs uint64
+	for _, v := range res.VMs {
+		refs += v.Stats.Refs
+	}
+	reps := res.Replicates
+	if reps == 0 {
+		reps = 1
+	}
+	return obs.Manifest{
+		Label:        cfg.Label(),
+		Workloads:    names,
+		GroupSize:    cfg.GroupSize,
+		Policy:       cfg.Policy.String(),
+		Scale:        cfg.Scale,
+		Seed:         cfg.Seed,
+		WarmupRefs:   cfg.WarmupRefs,
+		MeasureRefs:  cfg.MeasureRefs,
+		SnapshotRefs: cfg.SnapshotRefs,
+		Replicates:   reps,
+		Refs:         refs,
+		Cycles:       uint64(res.Cycles),
+		WallSeconds:  res.WallSeconds,
+		Parallel:     parallel,
+	}
 }
 
 // ByClass returns the results of all VMs running the given workload, in

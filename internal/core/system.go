@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"consim/internal/cache"
 	"consim/internal/coherence"
 	"consim/internal/memctrl"
 	"consim/internal/mesh"
+	"consim/internal/obs"
 	"consim/internal/sched"
 	"consim/internal/sim"
 	"consim/internal/vm"
@@ -80,7 +82,25 @@ type System struct {
 	scratchThreads   []int
 	scratchPresent   []bool
 	scratchQuota     []int
+
+	// Observability: hooks publish live metrics on a cadence (and emit
+	// phase trace spans); lastPub re-bases counter deltas so sums over
+	// shards stay monotone. All publish work is allocation-free.
+	hooks   *obs.RunHooks
+	lastPub pubTotals
 }
+
+// pubTotals snapshots the per-VM counter sums at the last live publish.
+type pubTotals struct {
+	refs, privMisses, llcMisses       uint64
+	c2cClean, c2cDirty                uint64
+	memReads, invalidations, upgrades uint64
+}
+
+// livePublishMask throttles live metric publishes to one per 8192
+// issued references — cheap enough to leave on, fresh enough for a
+// progress display or expvar poller.
+const livePublishMask = 8192 - 1
 
 // NewSystem builds and schedules a system from cfg. Construction errors
 // (invalid config, unschedulable placement) are returned, not panicked:
@@ -120,6 +140,7 @@ func NewSystem(cfg Config) (*System, error) {
 		bankBusy: make([]sim.Cycle, cfg.Cores),
 		dirBusy:  make([]sim.Cycle, cfg.Cores),
 		q:        sim.NewEventQueue(cfg.Cores),
+		hooks:    cfg.Obs,
 	}
 
 	for i := 0; i < cfg.Cores; i++ {
@@ -342,6 +363,13 @@ func (s *System) Run() (Result, error) {
 	if len(s.vms) == 0 {
 		return Result{}, fmt.Errorf("core: empty system")
 	}
+	runStart := time.Now()
+	h := s.hooks
+	lane := 0
+	if h != nil {
+		lane = h.RunStart(s.cfg.Label())
+		defer h.RunEnd(lane)
+	}
 	// Seed the event queue with every active core.
 	for c := range s.cores {
 		if s.cores[c].active {
@@ -351,8 +379,16 @@ func (s *System) Run() (Result, error) {
 	}
 
 	// Warm-up phase.
+	endPhase := s.phase(lane, "warmup")
 	s.runUntil(s.cfg.WarmupRefs)
+	endPhase()
 	measureStart := s.now
+	if h != nil {
+		// Flush the warmup tail, then re-base the deltas: ResetStats is
+		// about to zero every counter the publish cadence diffs against.
+		s.publishLive()
+		s.lastPub = pubTotals{}
+	}
 	for _, m := range s.vms {
 		m.ResetStats()
 	}
@@ -369,20 +405,38 @@ func (s *System) Run() (Result, error) {
 	s.mem.ResetStats()
 
 	// Measurement phase, with an optional mid-run snapshot.
+	endPhase = s.phase(lane, "measure")
 	var snap Snapshot
 	snapTaken := false
 	if s.cfg.SnapshotRefs > 0 && s.cfg.SnapshotRefs < s.cfg.MeasureRefs {
 		s.runUntil(s.cfg.WarmupRefs + s.cfg.SnapshotRefs)
+		endSnap := s.phase(lane, "snapshot")
 		snap = s.takeSnapshot()
+		endSnap()
 		snapTaken = true
 	}
 	s.runUntil(s.cfg.WarmupRefs + s.cfg.MeasureRefs)
 	if !snapTaken {
+		endSnap := s.phase(lane, "snapshot")
 		snap = s.takeSnapshot()
+		endSnap()
 	}
+	endPhase()
 	window := s.now - measureStart
+	if h != nil {
+		s.publishLive()
+		h.SetSharing(snap.ResidentLines, snap.ReplicatedLines)
+		for v := range s.vms {
+			lines := 0
+			for g := range snap.Occupancy {
+				lines += snap.Occupancy[g][v]
+			}
+			h.SetOccupancy(v, lines)
+		}
+	}
 
 	res := Result{
+		WallSeconds:     time.Since(runStart).Seconds(),
 		Config:          s.cfg,
 		Cycles:          window,
 		Snapshot:        snap,
@@ -457,12 +511,21 @@ func (s *System) runUntil(target uint64) {
 		m.Touch(acc.Block)
 		addr := m.AddrOf(acc.Block)
 		missesBefore := m.Stats.LLCMisses
+		privBefore := m.Stats.PrivMisses
 		lat := s.access(c, run.vmID, addr, acc.Write)
 		m.Stats.Refs++
 		s.globalRefs++
 		if m.Stats.LLCMisses != missesBefore {
 			region := m.Gen.Spec().RegionOf(acc.Block, s.cfg.ThreadsOf(run.vmID))
 			m.Stats.RegionMisses[region]++
+		}
+		if s.hooks != nil {
+			if m.Stats.PrivMisses != privBefore {
+				s.hooks.ObserveMissLat(uint64(lat))
+			}
+			if s.globalRefs&livePublishMask == 0 {
+				s.publishLive()
+			}
 		}
 
 		cs.refs++
@@ -481,6 +544,72 @@ func (s *System) runUntil(target uint64) {
 		s.q.Push(next, c)
 		s.pending[c] = true
 	}
+}
+
+// phase opens a named trace span on the run's lane; the returned closer
+// ends it. A no-op without hooks.
+func (s *System) phase(lane int, name string) func() {
+	if s.hooks == nil {
+		return func() {}
+	}
+	return s.hooks.Phase(lane, name)
+}
+
+// publishLive folds the counters the hot loop accumulates in plain
+// fields into the run's metric shard: per-VM counter deltas since the
+// last publish, plus point-in-time gauges for each cache level, the
+// directory, the memory controllers and the event queue. Called on the
+// livePublishMask cadence and at phase boundaries; every write lands in
+// a preallocated atomic slot, so the call is allocation-free.
+func (s *System) publishLive() {
+	h := s.hooks
+	var t pubTotals
+	for _, m := range s.vms {
+		st := &m.Stats
+		t.refs += st.Refs
+		t.privMisses += st.PrivMisses
+		t.llcMisses += st.LLCMisses
+		t.c2cClean += st.C2CClean
+		t.c2cDirty += st.C2CDirty
+		t.memReads += st.MemReads
+		t.invalidations += st.Invalidations
+		t.upgrades += st.Upgrades
+	}
+	last := &s.lastPub
+	h.AddCore(
+		t.refs-last.refs,
+		t.privMisses-last.privMisses,
+		t.llcMisses-last.llcMisses,
+		t.c2cClean-last.c2cClean,
+		t.c2cDirty-last.c2cDirty,
+		t.memReads-last.memReads,
+		t.invalidations-last.invalidations,
+		t.upgrades-last.upgrades,
+	)
+	s.lastPub = t
+
+	var acc, miss, evict uint64
+	for _, c := range s.l0 {
+		a, _, mi, ev := c.Counters()
+		acc, miss, evict = acc+a, miss+mi, evict+ev
+	}
+	h.SetLevel(0, acc, miss, evict)
+	acc, miss, evict = 0, 0, 0
+	for _, c := range s.l1 {
+		a, _, mi, ev := c.Counters()
+		acc, miss, evict = acc+a, miss+mi, evict+ev
+	}
+	h.SetLevel(1, acc, miss, evict)
+	acc, miss, evict = 0, 0, 0
+	for _, b := range s.banks {
+		a, _, mi, ev := b.Counters()
+		acc, miss, evict = acc+a, miss+mi, evict+ev
+	}
+	h.SetLevel(2, acc, miss, evict)
+
+	h.SetDirectory(uint64(s.dir.Len()), s.dirCache.Hits, s.dirCache.Misses)
+	h.SetMemory(s.mem.Reads, s.mem.Writebacks, uint64(s.mem.WaitSum), s.mem.QueueDepth(s.now))
+	h.SetEventQueue(s.q.Len())
 }
 
 // switchCost returns the configured context-switch penalty.

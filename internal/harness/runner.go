@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"consim/internal/core"
+	"consim/internal/obs"
 	"consim/internal/sched"
 	"consim/internal/sim"
 	"consim/internal/stats"
@@ -37,6 +38,12 @@ type Options struct {
 	// single run). Replicate-to-replicate variability is exposed through
 	// Result.CptCV.
 	Replicates int
+	// Obs attaches the observability sinks (live metrics, Chrome trace,
+	// manifests, progress). Each executed job acquires a tracer lane so
+	// the timeline shows one row per in-flight worker slot; memoized
+	// cache hits produce no spans or manifests — only real work is
+	// recorded. Nil disables all instrumentation.
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns full-scale settings matching the calibration
@@ -174,6 +181,20 @@ func (r *Runner) execute(cfg core.Config) (core.Result, error) {
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()
 
+	// A job claims a tracer lane for its whole replicate loop, so the
+	// timeline renders one row per occupied worker slot and the
+	// per-replicate run spans nest inside the job span.
+	o := r.opt.Obs
+	lane := -1
+	if o != nil && o.Tr != nil {
+		lane = o.Tr.AcquireLane()
+		o.Tr.Begin(lane, "job "+cfg.Label())
+		defer func() {
+			o.Tr.End(lane)
+			o.Tr.ReleaseLane(lane)
+		}()
+	}
+
 	reps := r.opt.Replicates
 	if reps < 1 {
 		reps = 1
@@ -182,18 +203,29 @@ func (r *Runner) execute(cfg core.Config) (core.Result, error) {
 	for i := 0; i < reps; i++ {
 		repCfg := cfg
 		repCfg.Seed = cfg.Seed + uint64(i)*0x9e37
+		repCfg.Obs = o.HooksLane(lane)
 		res, err := r.simulate(repCfg)
 		if err != nil {
 			return core.Result{}, err
 		}
 		results = append(results, res)
 	}
-	return mergeResults(results), nil
+	merged := mergeResults(results)
+	if o != nil {
+		o.CountJob()
+		if o.Man != nil {
+			if err := o.Man.Write(core.ManifestFor(cfg, merged, r.opt.Parallel)); err != nil {
+				return merged, err
+			}
+		}
+	}
+	return merged, nil
 }
 
 // simulate builds and runs one system, counting the execution.
 func (r *Runner) simulate(cfg core.Config) (core.Result, error) {
 	r.sims.Add(1)
+	r.opt.Obs.CountSim()
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return core.Result{}, err
@@ -209,9 +241,25 @@ func (r *Runner) runConfigs(cfgs []core.Config) ([]core.Result, error) {
 	err := r.parallelDo(len(cfgs), func(i int) error {
 		r.sem <- struct{}{}
 		defer func() { <-r.sem }()
-		res, err := r.simulate(cfgs[i])
+		cfg := cfgs[i]
+		o := r.opt.Obs
+		if cfg.Obs == nil {
+			// Hooks auto-acquire a tracer lane for the run's duration, so
+			// sweep batches get per-worker rows too.
+			cfg.Obs = o.Hooks()
+		}
+		res, err := r.simulate(cfg)
 		out[i] = res
-		return err
+		if err != nil {
+			return err
+		}
+		if o != nil {
+			o.CountJob()
+			if o.Man != nil {
+				return o.Man.Write(core.ManifestFor(cfg, res, r.opt.Parallel))
+			}
+		}
+		return nil
 	})
 	return out, err
 }
@@ -228,8 +276,10 @@ func mergeResults(results []core.Result) core.Result {
 	merged.Replicates = len(results)
 	merged.CptCV = make([]float64, len(merged.VMs))
 	var cycles stats.Sample
+	merged.WallSeconds = 0
 	for _, res := range results {
 		cycles.Add(float64(res.Cycles))
+		merged.WallSeconds += res.WallSeconds
 	}
 	for v := range merged.VMs {
 		var cpt, touched stats.Sample

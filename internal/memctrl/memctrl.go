@@ -108,6 +108,20 @@ func (m *Mem) Writeback(now sim.Cycle, addr sim.Addr) {
 	m.Writebacks++
 }
 
+// QueueDepth estimates how many requests are queued or in service
+// across all controllers at now: each controller's remaining busy time
+// divided by its per-request occupancy, rounded up. It is a live-load
+// gauge for observability, not part of the timing model.
+func (m *Mem) QueueDepth(now sim.Cycle) int {
+	depth := sim.Cycle(0)
+	for _, b := range m.busy {
+		if b > now {
+			depth += (b - now + m.cfg.Occupancy - 1) / m.cfg.Occupancy
+		}
+	}
+	return int(depth)
+}
+
 // AvgWait returns mean queueing cycles per demand read.
 func (m *Mem) AvgWait() float64 {
 	if m.Reads == 0 {

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// decodeTrace parses a written trace back for assertions.
+func decodeTrace(t *testing.T, tr *Tracer) traceFile {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	return tf
+}
+
+func TestTraceSpansBalanceAndNest(t *testing.T) {
+	tr := NewTracer()
+	lane := tr.AcquireLane()
+	tr.Begin(lane, "job")
+	tr.Begin(lane, "warmup")
+	tr.End(lane)
+	tr.Begin(lane, "measure")
+	tr.End(lane)
+	tr.End(lane)
+	tr.ReleaseLane(lane)
+
+	tf := decodeTrace(t, tr)
+	depth := 0
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			depth++
+		case "E":
+			depth--
+			if depth < 0 {
+				t.Fatalf("E with no open B at event %q", ev.Name)
+			}
+		}
+	}
+	if depth != 0 {
+		t.Errorf("unbalanced trace: %d spans left open", depth)
+	}
+}
+
+func TestTraceWorkerLaneMetadata(t *testing.T) {
+	tr := NewTracer()
+	l0, l1 := tr.AcquireLane(), tr.AcquireLane()
+	tr.Span(l0, "job a")()
+	tr.Span(l1, "job b")()
+	tr.ReleaseLane(l1)
+	tr.ReleaseLane(l0)
+	// LIFO recycling: a third job reuses lane 0, not lane 2.
+	l2 := tr.AcquireLane()
+	if l2 != l0 {
+		t.Errorf("lane not recycled LIFO: got %d, want %d", l2, l0)
+	}
+	tr.Span(l2, "job c")()
+
+	tf := decodeTrace(t, tr)
+	workers := map[int]string{}
+	sawProcess := false
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "M" {
+			continue
+		}
+		switch ev.Name {
+		case "process_name":
+			sawProcess = true
+		case "thread_name":
+			workers[ev.TID] = ev.Args["name"].(string)
+		}
+	}
+	if !sawProcess {
+		t.Error("no process_name metadata")
+	}
+	if len(workers) != 2 || workers[0] != "worker 0" || workers[1] != "worker 1" {
+		t.Errorf("worker lane metadata = %v, want worker 0 and worker 1", workers)
+	}
+}
+
+func TestTraceClosesOpenSpansOnWrite(t *testing.T) {
+	tr := NewTracer()
+	lane := tr.AcquireLane()
+	tr.Begin(lane, "interrupted sweep")
+	tf := decodeTrace(t, tr)
+	var b, e int
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			b++
+		case "E":
+			e++
+		}
+	}
+	if b != 1 || e != 1 {
+		t.Errorf("B/E = %d/%d, want 1/1 (open span auto-closed)", b, e)
+	}
+}
+
+func TestTraceEndWithoutBeginIgnored(t *testing.T) {
+	tr := NewTracer()
+	tr.End(0) // must not panic or emit
+	if tr.Events() != 0 {
+		t.Errorf("stray End recorded %d events", tr.Events())
+	}
+}
+
+func TestTraceWriteFile(t *testing.T) {
+	tr := NewTracer()
+	tr.Span(tr.AcquireLane(), "run")()
+	path := t.TempDir() + "/sub/trace.json"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf, &tf); err != nil {
+		t.Fatalf("written trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Error("written trace holds no events")
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package obs
+
+// ProcessCPUSeconds is unavailable off unix; manifests record 0.
+func ProcessCPUSeconds() float64 { return 0 }

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// The expvar namespace is process-global and Publish panics on
+// duplicates, so the registry export indirects through one package
+// variable that StartDebugServer swaps.
+var (
+	debugMu      sync.Mutex
+	debugReg     *Registry
+	debugVarOnce sync.Once
+)
+
+// StartDebugServer serves live metrics and profiling endpoints on addr:
+//
+//	/debug/vars          expvar (process stats + the consim metric registry)
+//	/debug/pprof/...     net/http/pprof (profile, heap, goroutine, trace)
+//
+// It returns a shutdown function. The server runs until shut down; a
+// long sweep can be profiled mid-flight with
+// `go tool pprof http://addr/debug/pprof/profile`.
+func StartDebugServer(addr string, reg *Registry) (func() error, error) {
+	debugMu.Lock()
+	debugReg = reg
+	debugMu.Unlock()
+	debugVarOnce.Do(func() {
+		expvar.Publish("consim", expvar.Func(func() any {
+			debugMu.Lock()
+			r := debugReg
+			debugMu.Unlock()
+			if r == nil {
+				return nil
+			}
+			return r.Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return func() error { return srv.Close() }, nil
+}

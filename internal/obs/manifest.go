@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Manifest is one run's provenance record: everything needed to say
+// *which* simulation produced a result and what it cost. The harness
+// appends one JSON line per executed simulation job to a sidecar under
+// results/, so every number in a report can be traced back to its
+// configuration, seed, scale and tool version.
+type Manifest struct {
+	Time      string `json:"time"`
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go_version"`
+	GitRev    string `json:"git_rev,omitempty"`
+
+	Label     string   `json:"label"`
+	Workloads []string `json:"workloads"`
+	GroupSize int      `json:"group_size"`
+	Policy    string   `json:"policy"`
+	Scale     int      `json:"scale"`
+	Seed      uint64   `json:"seed"`
+
+	WarmupRefs   uint64 `json:"warmup_refs"`
+	MeasureRefs  uint64 `json:"measure_refs"`
+	SnapshotRefs uint64 `json:"snapshot_refs,omitempty"`
+	Replicates   int    `json:"replicates"`
+
+	// Measured outcome and cost.
+	Refs        uint64  `json:"refs"`   // references simulated in the window
+	Cycles      uint64  `json:"cycles"` // measurement-window length
+	WallSeconds float64 `json:"wall_seconds"`
+	// CPUSeconds is the process-wide CPU time at completion (user +
+	// system); under a parallel sweep it reflects the whole process, not
+	// one job, and is recorded for throughput accounting.
+	CPUSeconds float64 `json:"cpu_seconds"`
+	Parallel   int     `json:"parallel,omitempty"`
+}
+
+// ManifestWriter appends manifest lines to a JSONL file. Safe for
+// concurrent use (the parallel runner stamps jobs as they finish).
+type ManifestWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenManifest opens (appending) or creates the JSONL sidecar at path,
+// creating parent directories as needed.
+func OpenManifest(path string) (*ManifestWriter, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &ManifestWriter{f: f}, nil
+}
+
+// Write stamps the environment fields (time, tool, Go version, git
+// revision, CPU time) and appends m as one JSON line.
+func (w *ManifestWriter) Write(m Manifest) error {
+	if m.Time == "" {
+		m.Time = time.Now().UTC().Format(time.RFC3339)
+	}
+	if m.Tool == "" {
+		m.Tool = "consim " + ToolVersion
+	}
+	if m.GoVersion == "" {
+		m.GoVersion = runtime.Version()
+	}
+	if m.GitRev == "" {
+		m.GitRev = buildRev()
+	}
+	if m.CPUSeconds == 0 {
+		m.CPUSeconds = ProcessCPUSeconds()
+	}
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err = w.f.Write(buf)
+	return err
+}
+
+// Path returns the underlying file's name.
+func (w *ManifestWriter) Path() string { return w.f.Name() }
+
+// Close flushes and closes the sidecar.
+func (w *ManifestWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// ReadManifests parses a JSONL sidecar back into records (reporting and
+// round-trip tests).
+func ReadManifests(path string) ([]Manifest, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Manifest
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	for dec.More() {
+		var m Manifest
+		if err := dec.Decode(&m); err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results", "manifests.jsonl")
+	w, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []Manifest{
+		{
+			Label: "TPC-H shared-4-way/affinity", Workloads: []string{"TPC-H"},
+			GroupSize: 4, Policy: "affinity", Scale: 16, Seed: 1,
+			WarmupRefs: 2000, MeasureRefs: 4000, Replicates: 1,
+			Refs: 64000, Cycles: 123456, WallSeconds: 0.25,
+		},
+		{
+			Label: "TPC-W+SPECjbb shared/rr", Workloads: []string{"TPC-W", "SPECjbb"},
+			GroupSize: 16, Policy: "rr", Scale: 4, Seed: 7,
+			WarmupRefs: 1000, MeasureRefs: 2000, SnapshotRefs: 500,
+			Replicates: 3, Refs: 96000, Cycles: 654321, WallSeconds: 1.5,
+			Parallel: 4,
+		},
+	}
+	for _, m := range in {
+		if err := w.Write(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := ReadManifests(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d manifests, wrote %d", len(out), len(in))
+	}
+	for i := range in {
+		got, want := out[i], in[i]
+		if got.Label != want.Label || got.GroupSize != want.GroupSize ||
+			got.Policy != want.Policy || got.Scale != want.Scale ||
+			got.Seed != want.Seed || got.Replicates != want.Replicates ||
+			got.Refs != want.Refs || got.Cycles != want.Cycles ||
+			got.WallSeconds != want.WallSeconds || got.Parallel != want.Parallel {
+			t.Errorf("manifest %d round-trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+		// Environment fields are stamped by Write, not the caller.
+		if got.Time == "" || got.Tool == "" || got.GoVersion == "" {
+			t.Errorf("manifest %d missing stamped fields: %+v", i, got)
+		}
+		if !strings.HasPrefix(got.Tool, "consim ") {
+			t.Errorf("manifest %d tool = %q", i, got.Tool)
+		}
+	}
+}
+
+func TestManifestAppendsAcrossWriters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.jsonl")
+	for i := 0; i < 2; i++ {
+		w, err := OpenManifest(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(Manifest{Label: "run", Workloads: []string{"TPC-H"}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := ReadManifests(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Errorf("re-opened sidecar holds %d records, want 2 (append, not truncate)", len(out))
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegistryAggregatesAcrossShards(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.CounterID("c", "")
+	g := reg.GaugeID("g", "")
+	a, b := reg.NewShard(), reg.NewShard()
+	a.Add(c, 3)
+	b.Add(c, 4)
+	a.Set(g, 10)
+	b.Set(g, 5)
+	if got := reg.Value(c); got != 7 {
+		t.Errorf("counter sum = %d, want 7", got)
+	}
+	if got := reg.Value(g); got != 15 {
+		t.Errorf("gauge sum = %d, want 15", got)
+	}
+}
+
+func TestRegistryReRegisterReturnsSameID(t *testing.T) {
+	reg := NewRegistry()
+	if reg.CounterID("x", "") != reg.CounterID("x", "") {
+		t.Error("re-registration returned a new ID")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind conflict did not panic")
+		}
+	}()
+	reg.GaugeID("x", "")
+}
+
+func TestRegistrationAfterFreezePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterID("x", "")
+	reg.NewShard()
+	defer func() {
+		if recover() == nil {
+			t.Error("post-freeze registration did not panic")
+		}
+	}()
+	reg.CounterID("y", "")
+}
+
+// TestConcurrentShardsSumExactly is the -race exercise: many goroutines
+// write their own shards while a reader polls aggregates, then the final
+// sums must be exact.
+func TestConcurrentShardsSumExactly(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.CounterID("refs", "")
+	h := reg.HistogramID("lat", "")
+
+	const workers = 8
+	const perWorker = 10_000
+	shards := make([]*Shard, workers)
+	for i := range shards {
+		shards[i] = reg.NewShard()
+	}
+
+	done := make(chan struct{})
+	go func() { // concurrent reader: values must only be racefree, not exact
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				reg.Value(c)
+				reg.HistQuantile(h, 0.5)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(sh *Shard, seed uint64) {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				sh.Add(c, 1)
+				sh.Observe(h, seed+uint64(j)%300)
+			}
+		}(shards[i], uint64(i))
+	}
+	wg.Wait()
+	close(done)
+
+	if got := reg.Value(c); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Value(h); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	counts := reg.HistCounts(h)
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	if total != workers*perWorker {
+		t.Errorf("bucket total = %d, want %d", total, workers*perWorker)
+	}
+}
+
+func TestHistQuantileBounds(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.HistogramID("lat", "")
+	sh := reg.NewShard()
+	if reg.HistQuantile(h, 0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	// 100 observations of 150 land in bucket bits.Len64(150)=8, i.e.
+	// [128,256); every quantile reports the bucket's upper bound 255.
+	for i := 0; i < 100; i++ {
+		sh.Observe(h, 150)
+	}
+	if got := reg.HistQuantile(h, 0.50); got != 255 {
+		t.Errorf("p50 = %d, want 255", got)
+	}
+	if got := reg.HistQuantile(h, 0.99); got != 255 {
+		t.Errorf("p99 = %d, want 255", got)
+	}
+}
+
+func TestShardHotPathAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.CounterID("c", "")
+	g := reg.GaugeID("g", "")
+	h := reg.HistogramID("h", "")
+	sh := reg.NewShard()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sh.Add(c, 1)
+		sh.Set(g, 42)
+		sh.Observe(h, 150)
+	})
+	if allocs != 0 {
+		t.Errorf("shard writes allocate: %v allocs/run", allocs)
+	}
+}
+
+func TestSnapshotShapes(t *testing.T) {
+	reg := NewRegistry()
+	m := RegisterSimMetrics(reg)
+	sh := reg.NewShard()
+	sh.Add(m.Refs, 100)
+	sh.Observe(m.MissLatency, 150)
+	snap := reg.Snapshot()
+	if snap["sim_refs_total"] != uint64(100) {
+		t.Errorf("snapshot counter = %v", snap["sim_refs_total"])
+	}
+	hist, ok := snap["miss_latency_cycles"].(map[string]uint64)
+	if !ok || hist["count"] != 1 {
+		t.Errorf("snapshot histogram = %v", snap["miss_latency_cycles"])
+	}
+}

@@ -12,13 +12,31 @@ import (
 	"sort"
 )
 
-// Sample accumulates observations of one metric.
+// Sample accumulates observations of one metric. Derived statistics are
+// cached between Adds: the harness formats every sample several times
+// (mean, CI, CV all in one report row), and the seed implementation
+// re-summed — and for Median re-sorted — the observations on every
+// call. The caches preserve the original arithmetic exactly: the mean
+// accumulates in Add order (the same float additions the per-call loop
+// performed) and Var/Median compute the same two-pass/sort results,
+// just at most once per mutation.
 type Sample struct {
-	xs []float64
+	xs  []float64
+	sum float64 // running total, accumulated in Add order
+
+	variance float64   // cached unbiased sample variance
+	varOK    bool      // variance is current
+	sorted   []float64 // cached ascending copy of xs (reused backing array)
+	sortOK   bool      // sorted is current
 }
 
 // Add appends an observation.
-func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sum += x
+	s.varOK = false
+	s.sortOK = false
+}
 
 // N returns the observation count.
 func (s *Sample) N() int { return len(s.xs) }
@@ -28,11 +46,7 @@ func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, x := range s.xs {
-		sum += x
-	}
-	return sum / float64(len(s.xs))
+	return s.sum / float64(len(s.xs))
 }
 
 // Var returns the unbiased sample variance (0 for n < 2).
@@ -41,13 +55,17 @@ func (s *Sample) Var() float64 {
 	if n < 2 {
 		return 0
 	}
-	m := s.Mean()
-	sum := 0.0
-	for _, x := range s.xs {
-		d := x - m
-		sum += d * d
+	if !s.varOK {
+		m := s.Mean()
+		sum := 0.0
+		for _, x := range s.xs {
+			d := x - m
+			sum += d * d
+		}
+		s.variance = sum / float64(n-1)
+		s.varOK = true
 	}
-	return sum / float64(n-1)
+	return s.variance
 }
 
 // Stddev returns the sample standard deviation.
@@ -121,12 +139,15 @@ func (s *Sample) Median() float64 {
 	if n == 0 {
 		return 0
 	}
-	cp := append([]float64(nil), s.xs...)
-	sort.Float64s(cp)
-	if n%2 == 1 {
-		return cp[n/2]
+	if !s.sortOK {
+		s.sorted = append(s.sorted[:0], s.xs...)
+		sort.Float64s(s.sorted)
+		s.sortOK = true
 	}
-	return (cp[n/2-1] + cp[n/2]) / 2
+	if n%2 == 1 {
+		return s.sorted[n/2]
+	}
+	return (s.sorted[n/2-1] + s.sorted[n/2]) / 2
 }
 
 // String summarizes the sample for reports.

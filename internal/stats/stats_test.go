@@ -99,6 +99,48 @@ func TestStringFormat(t *testing.T) {
 	}
 }
 
+func TestCachesInvalidateOnAdd(t *testing.T) {
+	// Interleave reads and Adds: every derived statistic must match a
+	// freshly-built sample at each step, so the caches can never serve a
+	// stale value after a mutation.
+	xs := []float64{5, 1, 9, 3, 7, 2, 8}
+	s := &Sample{}
+	for i, x := range xs {
+		s.Add(x)
+		fresh := sampleOf(xs[:i+1]...)
+		if s.Mean() != fresh.Mean() {
+			t.Fatalf("after %d adds: Mean = %v, want %v", i+1, s.Mean(), fresh.Mean())
+		}
+		if s.Var() != fresh.Var() {
+			t.Fatalf("after %d adds: Var = %v, want %v", i+1, s.Var(), fresh.Var())
+		}
+		if s.Median() != fresh.Median() {
+			t.Fatalf("after %d adds: Median = %v, want %v", i+1, s.Median(), fresh.Median())
+		}
+		if s.CI95() != fresh.CI95() {
+			t.Fatalf("after %d adds: CI95 = %v, want %v", i+1, s.CI95(), fresh.CI95())
+		}
+	}
+}
+
+func TestRepeatedReadsDoNotAllocate(t *testing.T) {
+	// The harness formats each sample several times per report; cached
+	// statistics make every read after the first allocation-free (the
+	// seed implementation copied and sorted on every Median call).
+	s := sampleOf(5, 1, 9, 3, 7, 2, 8, 4)
+	s.Median() // populate the sorted cache once
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = s.Mean()
+		_ = s.Var()
+		_ = s.Median()
+		_ = s.CV()
+		_ = s.CI95()
+	})
+	if allocs != 0 {
+		t.Errorf("cached statistic reads allocate: %v allocs/run", allocs)
+	}
+}
+
 func TestMeanBetweenMinMaxProperty(t *testing.T) {
 	f := func(raw []float64) bool {
 		s := &Sample{}

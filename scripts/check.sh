@@ -22,7 +22,20 @@ fi
 
 echo "== allocation budgets =="
 # Steady-state simulation loop must not allocate (perf regression guard).
+# TestSteadyStateAllocBudget runs with live metrics attached, so the
+# observability publish cadence is inside the guarded path.
 go test -run 'TestSteadyStateAllocBudget' ./internal/core
 go test -run 'TestDirectorySteadyStateAllocs' ./internal/coherence
+
+echo "== observability smoke =="
+# A tiny observed run must produce a non-empty Chrome trace and a
+# manifest line alongside a clean exit.
+obs_trace=$(mktemp /tmp/consim_trace.XXXXXX.json)
+obs_manifest=$(mktemp /tmp/consim_manifest.XXXXXX.jsonl)
+go run ./cmd/consim -workloads TPC-H -scale 16 -warm 2000 -meas 4000 \
+	-progress -tracefile "$obs_trace" -manifest "$obs_manifest" >/dev/null
+test -s "$obs_trace" || { echo "check.sh: empty trace file" >&2; exit 1; }
+test -s "$obs_manifest" || { echo "check.sh: empty manifest" >&2; exit 1; }
+rm -f "$obs_trace" "$obs_manifest"
 
 echo "check.sh: OK"
