@@ -18,6 +18,7 @@
 //	bench                         # default throughput + T2,F2,F12 figures
 //	bench -iters 5 -out bench.json
 //	bench -figures ""             # throughput only
+//	bench -figures "" -baseline BENCH_consim.json  # regression gate
 package main
 
 import (
@@ -99,6 +100,7 @@ func run() (err error) {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations in flight for the figure suite")
 		figures  = flag.String("figures", "T2,F2,F12", "comma-separated figure IDs to time (empty = skip)")
 		out      = flag.String("out", "BENCH_consim.json", "report path (- = stdout)")
+		baseline = flag.String("baseline", "", "committed report to gate against; exit non-zero on >10% refs_per_sec regression or any allocs_per_ref growth")
 	)
 	var ocli obs.CLI
 	ocli.Register(flag.CommandLine)
@@ -192,13 +194,45 @@ func run() (err error) {
 	}
 	buf = append(buf, '\n')
 	if *out == "-" {
-		_, err = os.Stdout.Write(buf)
+		if _, err = os.Stdout.Write(buf); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[wrote %s: %.0f refs/sec, %.4f allocs/ref]\n",
+			*out, rep.RefsPerSec, rep.AllocsPerRef)
+	}
+	if *baseline != "" {
+		return gate(rep, *baseline)
+	}
+	return nil
+}
+
+// gate compares a fresh report against the committed baseline and
+// returns an error (non-zero exit) on a throughput regression beyond
+// 10% — outside normal machine noise — or on any growth at all in
+// allocations per reference, which are deterministic and must only
+// ever go down.
+func gate(rep Report, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		return err
+	var base Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
-	fmt.Fprintf(os.Stderr, "[wrote %s: %.0f refs/sec, %.4f allocs/ref]\n",
-		*out, rep.RefsPerSec, rep.AllocsPerRef)
+	if base.RefsPerSec > 0 && rep.RefsPerSec < base.RefsPerSec*0.9 {
+		return fmt.Errorf("refs_per_sec regressed more than 10%%: %.0f vs baseline %.0f (%s)",
+			rep.RefsPerSec, base.RefsPerSec, path)
+	}
+	if rep.AllocsPerRef > base.AllocsPerRef {
+		return fmt.Errorf("allocs_per_ref grew: %.6g vs baseline %.6g (%s)",
+			rep.AllocsPerRef, base.AllocsPerRef, path)
+	}
+	fmt.Fprintf(os.Stderr, "[baseline ok: %.0f refs/sec vs %.0f, %.4g allocs/ref vs %.4g]\n",
+		rep.RefsPerSec, base.RefsPerSec, rep.AllocsPerRef, base.AllocsPerRef)
 	return nil
 }

@@ -4,10 +4,20 @@
 // are resident, their coherence state, and which virtual machine brought
 // them in); all latency accounting lives in the system model that drives
 // them.
+//
+// Storage is struct-of-arrays: the resident tags live in one contiguous
+// []uint64 scanned by the hot Lookup/Probe path, with coherence state,
+// VM tag and LRU age in parallel arrays touched only on a hit. Callers
+// address a resident line through a Way handle; a handle is invalidated
+// by any later Lookup or Insert on the same cache (Lookup rotates the
+// hit line to way 0, Insert reuses slots), so hold it only across
+// side-effect-free calls.
 package cache
 
 import (
 	"fmt"
+	"sort"
+	"unsafe"
 
 	"consim/internal/sim"
 )
@@ -51,14 +61,17 @@ func (s State) String() string {
 // Dirty reports whether a line in state s holds data newer than memory.
 func (s State) Dirty() bool { return s == Modified || s == Owned }
 
-// Line is one resident cache line.
+// Line is one resident cache line, materialized by value for eviction
+// victims and ForEach callbacks.
 type Line struct {
 	Tag   sim.Addr // full line address (not a partial tag; simplicity over space)
 	State State
 	VM    uint8 // virtual machine that inserted the line (occupancy accounting)
-	used  uint64
-	valid bool
 }
+
+// Way is a handle to a resident line: the line's global slot index. It
+// stays valid only until the next Lookup or Insert on the same cache.
+type Way int32
 
 // Config sizes a cache.
 type Config struct {
@@ -86,25 +99,37 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// invalidTag marks an empty way in the tag mirror. Line tags are
-// line-aligned addresses (low bits zero), so the all-ones value can never
+// invalidTag marks an empty way in the packed tag field. Tags are line
+// numbers (addresses shifted right by the line bits), and blockOf rejects
+// addresses whose line number reaches the sentinel, so it can never
 // collide with a real tag.
-const invalidTag = ^uint64(0)
+const invalidTag = ^uint32(0)
+
+// slot packs one way's line tag and LRU tick into eight bytes. The tag is
+// the 32-bit line number (supporting a quarter-terabyte modeled physical
+// space); packing the tick beside it means the replacement scan reads one
+// memory stream instead of two, and a set's whole scan state fits in half
+// the cache lines of the previous split uint64 arrays.
+type slot struct {
+	tag  uint32
+	used uint32
+}
 
 // Cache is a set-associative, LRU-replacement cache array.
 type Cache struct {
 	cfg     Config
-	sets    []set
+	assoc   int
 	setMask uint64
-	tick    uint64 // global LRU clock
+	tick    uint32 // global LRU clock; renormalized on wrap
 	quota   []int  // per-VM way quotas (nil = unpartitioned)
 
-	// tags mirrors the resident tags contiguously (tags[set*assoc+way],
-	// invalidTag when empty) so the hot Lookup/Probe scans touch 8 bytes
-	// per way instead of a 32-byte Line; the LLC's 16-way set scan is one
-	// of the simulator's hottest loops. Insert and Invalidate keep the
-	// mirror in sync with the ways.
-	tags []uint64
+	// Struct-of-arrays storage, indexed set*assoc+way. meta is the only
+	// array the miss-dominated scan and replacement loops touch;
+	// states/vms are read on hits and evictions only. A slot is resident
+	// iff its tag differs from invalidTag.
+	meta   []slot
+	states []State
+	vms    []uint8
 
 	// Stats are plain counters; the driving model reads them directly.
 	Accesses  uint64
@@ -113,8 +138,15 @@ type Cache struct {
 	Evictions uint64
 }
 
-type set struct {
-	ways []Line
+// blockOf compresses addr to its packed 32-bit line number. The guard
+// trips only for machines modeling ≥256GB of physical address space —
+// far beyond the paper's configurations — rather than silently aliasing.
+func blockOf(addr sim.Addr) uint32 {
+	b := uint64(addr) >> sim.LineShift
+	if b >= uint64(invalidTag) {
+		panic("cache: address exceeds packed 32-bit tag capacity")
+	}
+	return uint32(b)
 }
 
 // New builds a cache from cfg. It panics on an invalid configuration:
@@ -126,20 +158,29 @@ func New(cfg Config) *Cache {
 	}
 	nLines := cfg.SizeBytes / sim.LineBytes
 	nSets := nLines / cfg.Assoc
+	// states and vms share one backing: a simulated machine builds dozens
+	// of cache instances, and fewer allocations each is measurable in the
+	// bench harness's construction-inclusive allocation budget.
+	bytes := make([]uint8, 2*nLines)
 	c := &Cache{
 		cfg:     cfg,
-		sets:    make([]set, nSets),
+		assoc:   cfg.Assoc,
 		setMask: uint64(nSets - 1),
-		tags:    make([]uint64, nLines),
+		meta:    make([]slot, nLines),
+		states:  unsafeStates(bytes[:nLines:nLines]),
+		vms:     bytes[nLines:],
 	}
-	ways := make([]Line, nLines)
-	for i := range c.sets {
-		c.sets[i].ways = ways[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
-	}
-	for i := range c.tags {
-		c.tags[i] = invalidTag
+	for i := range c.meta {
+		c.meta[i].tag = invalidTag
 	}
 	return c
+}
+
+// unsafeStates views a byte slice as coherence states (State is uint8,
+// so the layouts are identical); copying into a fresh []State would
+// defeat the shared-backing allocation.
+func unsafeStates(b []uint8) []State {
+	return unsafe.Slice((*State)(unsafe.Pointer(&b[0])), len(b))
 }
 
 // Config returns the geometry the cache was built with.
@@ -149,108 +190,213 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Latency() sim.Cycle { return c.cfg.Latency }
 
 // Lines returns the total line capacity.
-func (c *Cache) Lines() int { return len(c.sets) * c.cfg.Assoc }
+func (c *Cache) Lines() int { return len(c.meta) }
 
-func (c *Cache) setIndex(line sim.Addr) uint64 {
-	return (uint64(line) >> sim.LineShift) & c.setMask
+// State returns the coherence state of the line at w.
+func (c *Cache) State(w Way) State { return c.states[w] }
+
+// SetState updates the coherence state of the line at w.
+func (c *Cache) SetState(w Way, st State) { c.states[w] = st }
+
+// WayTag returns the line address held at w.
+func (c *Cache) WayTag(w Way) sim.Addr {
+	return sim.Addr(uint64(c.meta[w].tag) << sim.LineShift)
+}
+
+// WayVM returns the inserting VM of the line at w.
+func (c *Cache) WayVM(w Way) uint8 { return c.vms[w] }
+
+func (c *Cache) setBase(block uint32) int {
+	return int(uint64(block)&c.setMask) * c.assoc
+}
+
+// tickNext advances the LRU clock. On the (astronomically rare) 32-bit
+// wrap it renormalizes every stored tick first, preserving recency order
+// exactly.
+func (c *Cache) tickNext() uint32 {
+	c.tick++
+	if c.tick == 0 {
+		c.renormalizeTicks()
+	}
+	return c.tick
+}
+
+// renormalizeTicks compacts the LRU clock after 2^32 advances: ways are
+// re-ticked densely in their existing recency order, so every later
+// replacement decision matches what an unbounded clock would have made.
+func (c *Cache) renormalizeTicks() {
+	order := make([]int, len(c.meta))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return c.meta[order[a]].used < c.meta[order[b]].used
+	})
+	for r, i := range order {
+		c.meta[i].used = uint32(r + 1)
+	}
+	c.tick = uint32(len(c.meta)) + 1
 }
 
 // Lookup probes for the line containing addr. On a hit it refreshes LRU
-// state and returns the resident line. It does not allocate on miss.
-func (c *Cache) Lookup(addr sim.Addr) (*Line, bool) {
-	line := sim.LineAddr(addr)
+// state, rotates the line into way 0 of its set (so the next access to
+// the set's MRU line matches on the first compare) and returns its
+// handle. It does not allocate on miss.
+func (c *Cache) Lookup(addr sim.Addr) (Way, bool) {
+	t := blockOf(addr)
 	c.Accesses++
-	si := c.setIndex(line)
-	base := int(si) * c.cfg.Assoc
-	for i, tg := range c.tags[base : base+c.cfg.Assoc] {
-		if tg == uint64(line) {
-			w := &c.sets[si].ways[i]
-			c.tick++
-			w.used = c.tick
-			c.Hits++
-			return w, true
+	base := c.setBase(t)
+	m := c.meta[base : base+c.assoc : base+c.assoc]
+	if m[0].tag == t {
+		// MRU fast path: way 0 holds the set's last-hit line.
+		m[0].used = c.tickNext()
+		c.Hits++
+		return Way(base), true
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].tag != t {
+			continue
 		}
+		// Rotate the hit line into way 0. Ways within a set are
+		// symmetric (LRU order lives in used, not in slot order), so the
+		// swap is invisible to replacement and snapshot accounting.
+		j := base + i
+		m[i].tag = m[0].tag
+		m[0].tag = t
+		c.states[j], c.states[base] = c.states[base], c.states[j]
+		c.vms[j], c.vms[base] = c.vms[base], c.vms[j]
+		m[i].used = m[0].used
+		m[0].used = c.tickNext()
+		c.Hits++
+		return Way(base), true
 	}
 	c.Misses++
-	return nil, false
+	return -1, false
 }
 
-// Probe checks residency without touching LRU state or stats. Used by the
-// coherence layer for remote snoops and by snapshot accounting.
-func (c *Cache) Probe(addr sim.Addr) (*Line, bool) {
-	line := sim.LineAddr(addr)
-	si := c.setIndex(line)
-	base := int(si) * c.cfg.Assoc
-	for i, tg := range c.tags[base : base+c.cfg.Assoc] {
-		if tg == uint64(line) {
-			return &c.sets[si].ways[i], true
+// Probe checks residency without touching LRU state, slot order or
+// stats. Used by the coherence layer for remote snoops and by snapshot
+// accounting; the returned handle survives other Probes but not a
+// Lookup or Insert.
+func (c *Cache) Probe(addr sim.Addr) (Way, bool) {
+	t := blockOf(addr)
+	base := c.setBase(t)
+	m := c.meta[base : base+c.assoc : base+c.assoc]
+	for i := range m {
+		if m[i].tag == t {
+			return Way(base + i), true
 		}
 	}
-	return nil, false
+	return -1, false
 }
 
 // Insert allocates the line containing addr in state st on behalf of vm,
 // evicting the LRU way of the set if needed. It returns the displaced
-// line (evicted reports whether there was one) and a pointer to the newly
-// inserted line. Inserting a line that is already resident is a
+// line (evicted reports whether there was one) and the handle of the
+// newly inserted line. Inserting a line that is already resident is a
 // programming error in the protocol driver and panics.
-func (c *Cache) Insert(addr sim.Addr, st State, vm uint8) (victim Line, evicted bool, line *Line) {
-	la := sim.LineAddr(addr)
-	si := c.setIndex(la)
-	s := &c.sets[si]
+func (c *Cache) Insert(addr sim.Addr, st State, vm uint8) (victim Line, evicted bool, w Way) {
+	la := blockOf(addr)
+	base := c.setBase(la)
+	m := c.meta[base : base+c.assoc : base+c.assoc]
 	wi := -1
-	for i := range s.ways {
-		w := &s.ways[i]
-		if !w.valid {
+	minUsed := ^uint32(0)
+	for i := range m {
+		tg := m[i].tag
+		if tg == invalidTag {
 			wi = i
 			break
 		}
-		if w.Tag == la {
+		if tg == la {
 			panic(fmt.Sprintf("cache: double insert of line %#x", la))
 		}
-		if wi < 0 || w.used < s.ways[wi].used {
-			wi = i
+		if u := m[i].used; wi < 0 || u < minUsed {
+			wi, minUsed = i, u
 		}
 	}
-	if c.quota != nil && s.ways[wi].valid {
-		if pv := c.partitionVictim(s, vm); pv >= 0 {
+	if c.quota != nil && m[wi].tag != invalidTag {
+		if pv := c.partitionVictim(base, vm); pv >= 0 {
 			wi = pv
 		} else {
 			// An invalid way exists; find it.
-			for i := range s.ways {
-				if !s.ways[i].valid {
+			for i := range m {
+				if m[i].tag == invalidTag {
 					wi = i
 					break
 				}
 			}
 		}
 	}
-	lru := &s.ways[wi]
-	if lru.valid {
-		victim = *lru
+	j := base + wi
+	if m[wi].tag != invalidTag {
+		victim = Line{Tag: sim.Addr(uint64(m[wi].tag) << sim.LineShift), State: c.states[j], VM: c.vms[j]}
 		evicted = true
 		c.Evictions++
 	}
-	c.tick++
-	*lru = Line{Tag: la, State: st, VM: vm, used: c.tick, valid: true}
-	c.tags[int(si)*c.cfg.Assoc+wi] = uint64(la)
-	return victim, evicted, lru
+	m[wi] = slot{tag: la, used: c.tickNext()}
+	c.states[j] = st
+	c.vms[j] = vm
+	return victim, evicted, Way(j)
+}
+
+// InsertIfAbsent installs the line containing addr unless it is already
+// resident, in one set scan (against Probe-then-Insert's two). It
+// mirrors Insert's replacement choice exactly; on a pre-existing line it
+// is a no-op, like the Probe it replaces (no stats, no LRU refresh).
+func (c *Cache) InsertIfAbsent(addr sim.Addr, st State, vm uint8) (victim Line, evicted bool, w Way, inserted bool) {
+	la := blockOf(addr)
+	base := c.setBase(la)
+	m := c.meta[base : base+c.assoc : base+c.assoc]
+	wi := -1
+	for i := range m {
+		tg := m[i].tag
+		if tg == la {
+			return Line{}, false, Way(base + i), false
+		}
+		if tg == invalidTag {
+			if wi < 0 || m[wi].tag != invalidTag {
+				wi = i
+			}
+			continue
+		}
+		if wi >= 0 && m[wi].tag == invalidTag {
+			continue // an invalid way always wins over any LRU victim
+		}
+		if wi < 0 || m[i].used < m[wi].used {
+			wi = i
+		}
+	}
+	if c.quota != nil && m[wi].tag != invalidTag {
+		if pv := c.partitionVictim(base, vm); pv >= 0 {
+			wi = pv
+		}
+	}
+	j := base + wi
+	if m[wi].tag != invalidTag {
+		victim = Line{Tag: sim.Addr(uint64(m[wi].tag) << sim.LineShift), State: c.states[j], VM: c.vms[j]}
+		evicted = true
+		c.Evictions++
+	}
+	m[wi] = slot{tag: la, used: c.tickNext()}
+	c.states[j] = st
+	c.vms[j] = vm
+	return victim, evicted, Way(j), true
 }
 
 // Invalidate removes the line containing addr if resident and returns the
 // removed copy. Used for coherence invalidations and inclusive
 // back-invalidation.
 func (c *Cache) Invalidate(addr sim.Addr) (Line, bool) {
-	la := sim.LineAddr(addr)
-	si := c.setIndex(la)
-	base := int(si) * c.cfg.Assoc
-	tags := c.tags[base : base+c.cfg.Assoc]
-	for i, tg := range tags {
-		if tg == uint64(la) {
-			w := &c.sets[si].ways[i]
-			old := *w
-			*w = Line{}
-			tags[i] = invalidTag
+	t := blockOf(addr)
+	base := c.setBase(t)
+	m := c.meta[base : base+c.assoc : base+c.assoc]
+	for i := range m {
+		if m[i].tag == t {
+			j := base + i
+			old := Line{Tag: sim.Addr(uint64(t) << sim.LineShift), State: c.states[j], VM: c.vms[j]}
+			m[i] = slot{tag: invalidTag}
+			c.states[j] = Invalid
+			c.vms[j] = 0
 			return old, true
 		}
 	}
@@ -281,12 +427,9 @@ func (c *Cache) ResetStats() {
 // is sized to maxVM+1 entries.
 func (c *Cache) OccupancyByVM(maxVM int) []int {
 	occ := make([]int, maxVM+1)
-	for si := range c.sets {
-		for wi := range c.sets[si].ways {
-			w := &c.sets[si].ways[wi]
-			if w.valid && int(w.VM) <= maxVM {
-				occ[w.VM]++
-			}
+	for i := range c.meta {
+		if c.meta[i].tag != invalidTag && int(c.vms[i]) <= maxVM {
+			occ[c.vms[i]]++
 		}
 	}
 	return occ
@@ -295,25 +438,24 @@ func (c *Cache) OccupancyByVM(maxVM int) []int {
 // Resident returns the number of valid lines.
 func (c *Cache) Resident() int {
 	n := 0
-	for si := range c.sets {
-		for wi := range c.sets[si].ways {
-			if c.sets[si].ways[wi].valid {
-				n++
-			}
+	for i := range c.meta {
+		if c.meta[i].tag != invalidTag {
+			n++
 		}
 	}
 	return n
 }
 
-// ForEach visits every resident line. The callback must not insert or
-// invalidate lines.
+// ForEach visits every resident line as a value snapshot. The callback
+// must not insert or invalidate lines; mutations of the snapshot are not
+// written back.
 func (c *Cache) ForEach(fn func(*Line)) {
-	for si := range c.sets {
-		for wi := range c.sets[si].ways {
-			w := &c.sets[si].ways[wi]
-			if w.valid {
-				fn(w)
-			}
+	for i := range c.meta {
+		tg := c.meta[i].tag
+		if tg == invalidTag {
+			continue
 		}
+		l := Line{Tag: sim.Addr(uint64(tg) << sim.LineShift), State: c.states[i], VM: c.vms[i]}
+		fn(&l)
 	}
 }

@@ -48,12 +48,15 @@ func TestLookupMissThenHit(t *testing.T) {
 		t.Fatal("hit in empty cache")
 	}
 	c.Insert(0x1000, Shared, 1)
-	ln, ok := c.Lookup(0x1000)
+	w, ok := c.Lookup(0x1000)
 	if !ok {
 		t.Fatal("miss after insert")
 	}
-	if ln.State != Shared || ln.VM != 1 {
-		t.Errorf("line = %+v", *ln)
+	if c.State(w) != Shared || c.WayVM(w) != 1 {
+		t.Errorf("line = %v/%d", c.State(w), c.WayVM(w))
+	}
+	if c.WayTag(w) != 0x1000 {
+		t.Errorf("WayTag = %#x", c.WayTag(w))
 	}
 	if c.Accesses != 2 || c.Hits != 1 || c.Misses != 1 {
 		t.Errorf("stats = %d/%d/%d", c.Accesses, c.Hits, c.Misses)

@@ -44,28 +44,28 @@ func (c *Cache) quotaOf(vm uint8) int {
 	return c.quota[vm]
 }
 
-// partitionVictim picks the way index to evict in set s for an insertion
-// by vm, honoring quotas. It returns -1 if an invalid way exists (no
-// eviction needed).
-func (c *Cache) partitionVictim(s *set, vm uint8) int {
+// partitionVictim picks the way index (within the set starting at slot
+// base) to evict for an insertion by vm, honoring quotas. It returns -1
+// if an invalid way exists (no eviction needed).
+func (c *Cache) partitionVictim(base int, vm uint8) int {
 	var counts [256]int
 	lruOwn, lruOver, lruAny := -1, -1, -1
-	for i := range s.ways {
-		w := &s.ways[i]
-		if !w.valid {
+	m := c.meta[base : base+c.assoc : base+c.assoc]
+	vms := c.vms[base : base+c.assoc : base+c.assoc]
+	for i := range m {
+		if m[i].tag == invalidTag {
 			return -1
 		}
-		counts[w.VM]++
-		if lruAny < 0 || w.used < s.ways[lruAny].used {
+		counts[vms[i]]++
+		if lruAny < 0 || m[i].used < m[lruAny].used {
 			lruAny = i
 		}
 	}
-	for i := range s.ways {
-		w := &s.ways[i]
-		if w.VM == vm && (lruOwn < 0 || w.used < s.ways[lruOwn].used) {
+	for i := range m {
+		if vms[i] == vm && (lruOwn < 0 || m[i].used < m[lruOwn].used) {
 			lruOwn = i
 		}
-		if counts[w.VM] > c.quotaOf(w.VM) && (lruOver < 0 || w.used < s.ways[lruOver].used) {
+		if counts[vms[i]] > c.quotaOf(vms[i]) && (lruOver < 0 || m[i].used < m[lruOver].used) {
 			lruOver = i
 		}
 	}

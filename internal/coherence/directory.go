@@ -98,15 +98,18 @@ func (e *Entry) OtherL2(b int) int {
 }
 
 // dirSlot is one bucket of the directory's open-addressing table: the
-// block ID, the entry stored by value, and a liveness flag. Storing
-// entries inline (18 data bytes, no pointers) keeps the table out of the
-// garbage collector's scan set and makes the per-line state a single
-// cache-line-friendly read.
+// block ID and the entry stored by value. A sentinel key marks free
+// buckets, so the slot packs to 32 bytes (two per cache line), stays
+// pointer-free (out of the garbage collector's scan set) and makes the
+// per-line state a single cache-line-friendly read.
 type dirSlot struct {
-	key  uint64
-	live bool
-	e    Entry
+	key uint64
+	e   Entry
 }
+
+// dirEmptyKey marks a free slot. Block IDs are line addresses shifted
+// right by the line bits, so the all-ones key is unreachable.
+const dirEmptyKey = ^uint64(0)
 
 // Directory is the chip-wide line directory. Entries live in a flat
 // open-addressed hash table keyed by block ID (linear probing, fibonacci
@@ -122,7 +125,8 @@ type dirSlot struct {
 // state; see RefDirectory for the retired map implementation, kept as the
 // oracle for the differential parity tests.
 type Directory struct {
-	nodes int
+	nodes    int
+	homeMask int // nodes-1 when nodes is a power of two, else -1
 
 	slots []dirSlot
 	shift uint // 64 - log2(len(slots)); fibonacci-hash shift
@@ -142,12 +146,27 @@ func NewDirectory(n int) *Directory {
 	if n <= 0 || n > MaxNodes {
 		panic(fmt.Sprintf("coherence: invalid node count %d (1..%d)", n, MaxNodes))
 	}
-	return &Directory{
-		nodes: n,
-		slots: make([]dirSlot, dirInitialSlots),
-		shift: 64 - uint(bits.TrailingZeros(dirInitialSlots)),
-		grow:  dirInitialSlots * 3 / 4,
+	hm := -1
+	if n&(n-1) == 0 {
+		hm = n - 1
 	}
+	d := &Directory{
+		nodes:    n,
+		homeMask: hm,
+		slots:    newDirSlots(dirInitialSlots),
+		shift:    64 - uint(bits.TrailingZeros(dirInitialSlots)),
+		grow:     dirInitialSlots * 3 / 4,
+	}
+	return d
+}
+
+// newDirSlots allocates a table of n free slots.
+func newDirSlots(n int) []dirSlot {
+	s := make([]dirSlot, n)
+	for i := range s {
+		s[i].key = dirEmptyKey
+	}
+	return s
 }
 
 // Nodes returns the number of home nodes.
@@ -156,7 +175,11 @@ func (d *Directory) Nodes() int { return d.nodes }
 // Home returns the node whose directory slice owns addr. Entries are
 // striped by block address, matching the paper's configuration.
 func (d *Directory) Home(addr sim.Addr) int {
-	return int(sim.BlockID(addr) % uint64(d.nodes))
+	b := sim.BlockID(addr)
+	if d.homeMask >= 0 {
+		return int(b) & d.homeMask
+	}
+	return int(b % uint64(d.nodes))
 }
 
 // idx returns the home bucket of a block ID. Fibonacci (multiplicative)
@@ -179,18 +202,17 @@ func (d *Directory) Get(addr sim.Addr) *Entry {
 	mask := uint64(len(d.slots) - 1)
 	for i := d.idx(key); ; i = (i + 1) & mask {
 		s := &d.slots[i]
-		if !s.live {
+		if s.key == key {
+			return &s.e
+		}
+		if s.key == dirEmptyKey {
 			if d.used >= d.grow {
 				d.rehash()
 				return d.insert(key)
 			}
 			d.used++
 			s.key = key
-			s.live = true
 			s.e = NewEntry()
-			return &s.e
-		}
-		if s.key == key {
 			return &s.e
 		}
 	}
@@ -200,11 +222,11 @@ func (d *Directory) Get(addr sim.Addr) *Entry {
 func (d *Directory) insert(key uint64) *Entry {
 	mask := uint64(len(d.slots) - 1)
 	i := d.idx(key)
-	for d.slots[i].live {
+	for d.slots[i].key != dirEmptyKey {
 		i = (i + 1) & mask
 	}
 	d.used++
-	d.slots[i] = dirSlot{key: key, live: true, e: NewEntry()}
+	d.slots[i] = dirSlot{key: key, e: NewEntry()}
 	return &d.slots[i].e
 }
 
@@ -214,16 +236,16 @@ func (d *Directory) insert(key uint64) *Entry {
 // by on-chip lines, which Release reclaims) growth stops entirely.
 func (d *Directory) rehash() {
 	old := d.slots
-	d.slots = make([]dirSlot, 2*len(old))
+	d.slots = newDirSlots(2 * len(old))
 	d.shift--
 	d.grow = len(d.slots) * 3 / 4
 	mask := uint64(len(d.slots) - 1)
 	for oi := range old {
-		if !old[oi].live {
+		if old[oi].key == dirEmptyKey {
 			continue
 		}
 		i := d.idx(old[oi].key)
-		for d.slots[i].live {
+		for d.slots[i].key != dirEmptyKey {
 			i = (i + 1) & mask
 		}
 		d.slots[i] = old[oi]
@@ -237,11 +259,11 @@ func (d *Directory) Probe(addr sim.Addr) (*Entry, bool) {
 	mask := uint64(len(d.slots) - 1)
 	for i := d.idx(key); ; i = (i + 1) & mask {
 		s := &d.slots[i]
-		if !s.live {
-			return nil, false
-		}
 		if s.key == key {
 			return &s.e, true
+		}
+		if s.key == dirEmptyKey {
+			return nil, false
 		}
 	}
 }
@@ -252,39 +274,58 @@ func (d *Directory) Probe(addr sim.Addr) (*Entry, bool) {
 // cluster slide into the vacated bucket, so the table carries no
 // tombstones and lookups never scan dead slots.
 func (d *Directory) Release(addr sim.Addr) {
+	if i, ok := d.ProbeSlot(addr); ok {
+		d.ReleaseSlot(i)
+	}
+}
+
+// ProbeSlot locates addr's table slot without creating one. Together with
+// EntryAt and ReleaseSlot it lets eviction paths probe, mutate, and
+// release an entry with a single hash walk instead of one per step. The
+// index obeys the same validity contract as entry pointers: any insertion
+// or release may move slots.
+func (d *Directory) ProbeSlot(addr sim.Addr) (int, bool) {
 	key := sim.BlockID(addr)
 	mask := uint64(len(d.slots) - 1)
-	i := d.idx(key)
-	for {
+	for i := d.idx(key); ; i = (i + 1) & mask {
 		s := &d.slots[i]
-		if !s.live {
-			return
-		}
 		if s.key == key {
-			break
+			return int(i), true
 		}
-		i = (i + 1) & mask
+		if s.key == dirEmptyKey {
+			return 0, false
+		}
 	}
+}
+
+// EntryAt returns the entry in slot i, as located by ProbeSlot.
+func (d *Directory) EntryAt(i int) *Entry { return &d.slots[i].e }
+
+// ReleaseSlot is Release for a line already located at slot i: it removes
+// the entry if the line has left the chip.
+func (d *Directory) ReleaseSlot(i int) {
 	if d.slots[i].e.OnChip() {
 		return
 	}
 	d.used--
-	// Backward-shift: walk the cluster after i; any entry whose home
-	// bucket lies at or before the hole (cyclically) moves into it,
+	// Backward-shift: walk the cluster after the hole; any entry whose
+	// home bucket lies at or before the hole (cyclically) moves into it,
 	// re-opening the hole at its old position.
-	j := i
+	mask := uint64(len(d.slots) - 1)
+	hole := uint64(i)
+	j := hole
 	for {
 		j = (j + 1) & mask
 		s := &d.slots[j]
-		if !s.live {
+		if s.key == dirEmptyKey {
 			break
 		}
-		if (j-d.idx(s.key))&mask >= (j-i)&mask {
-			d.slots[i] = *s
-			i = j
+		if (j-d.idx(s.key))&mask >= (j-hole)&mask {
+			d.slots[hole] = *s
+			hole = j
 		}
 	}
-	d.slots[i] = dirSlot{}
+	d.slots[hole] = dirSlot{key: dirEmptyKey}
 }
 
 // Len returns the number of tracked lines (lines with on-chip state plus
@@ -296,7 +337,7 @@ func (d *Directory) Len() int { return d.used }
 // paper's Figure 12 metric).
 func (d *Directory) ReplicationSnapshot() (resident, replicated int) {
 	for i := range d.slots {
-		if !d.slots[i].live {
+		if d.slots[i].key == dirEmptyKey {
 			continue
 		}
 		n := d.slots[i].e.L2Count()
@@ -315,7 +356,7 @@ func (d *Directory) ReplicationSnapshot() (resident, replicated int) {
 // traffic.
 func (d *Directory) CheckInvariants() error {
 	for i := range d.slots {
-		if !d.slots[i].live {
+		if d.slots[i].key == dirEmptyKey {
 			continue
 		}
 		b, e := d.slots[i].key, &d.slots[i].e

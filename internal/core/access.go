@@ -48,86 +48,109 @@ func (s *System) dirVisit(at sim.Cycle, home int, addr sim.Addr) (sim.Cycle, boo
 
 // access performs one reference by core c on behalf of vmID and returns
 // its total latency.
+//
+// The L0 read-hit return is the simulator's fastest path: hits dominate
+// every Table II workload, a read hit changes no coherence or directory
+// state, and the L0/L1 state-sync invariant (co-resident lines always
+// share a state; the write path still asserts inclusion) means nothing
+// else needs to be consulted.
 func (s *System) access(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
-	st := &s.vms[vmID].Stats
-	vtag := uint8(vmID)
-	now := s.now
-
 	l0 := s.l0[c]
-	l0Line, l0Hit := l0.Lookup(addr)
-	var l1Line *cache.Line
-	var l1Hit bool
-	if l0Hit {
-		// Inclusion: an L0-resident line is always in L1; Probe avoids
-		// charging an L1 access the hardware would not make.
-		l1Line, l1Hit = s.l1[c].Probe(addr)
-		if !l1Hit {
-			panic(fmt.Sprintf("core: L0/L1 inclusion violated at %#x", addr))
+	if w0, ok := l0.Lookup(addr); ok {
+		if !write {
+			return DefaultL0Latency
 		}
-	} else {
-		l1Line, l1Hit = s.l1[c].Lookup(addr)
+		return s.writeHitL0(c, vmID, addr, w0)
 	}
 
-	hitLat := DefaultL1Latency
-	if l0Hit {
-		hitLat = DefaultL0Latency
-	}
-
-	if l1Hit {
+	l1 := s.l1[c]
+	vtag := uint8(vmID)
+	if w1, ok := l1.Lookup(addr); ok {
 		switch {
 		case !write:
-			if !l0Hit {
-				s.fillL0(c, addr, l1Line.State, vtag)
-			}
-			return hitLat
-		case l1Line.State == cache.Modified:
-			if l0Hit {
-				l0Line.State = cache.Modified
-			} else {
-				s.fillL0(c, addr, cache.Modified, vtag)
-			}
-			return hitLat
-		case l1Line.State == cache.Exclusive:
+			s.fillL0(c, addr, l1.State(w1), vtag)
+			return DefaultL1Latency
+		case l1.State(w1) == cache.Modified:
+			s.fillL0(c, addr, cache.Modified, vtag)
+			return DefaultL1Latency
+		case l1.State(w1) == cache.Exclusive:
 			// Silent E->M upgrade; record dirty ownership.
-			l1Line.State = cache.Modified
+			l1.SetState(w1, cache.Modified)
 			e := s.dir.Get(addr)
 			e.L1Owner = int8(c)
 			e.L2Owner = int8(s.groupOf(c))
-			if bl, ok := s.banks[s.groupOf(c)].Probe(addr); ok {
-				bl.State = cache.Modified
+			if bw, ok := s.banks[s.groupOf(c)].Probe(addr); ok {
+				s.banks[s.groupOf(c)].SetState(bw, cache.Modified)
 			}
-			if l0Hit {
-				l0Line.State = cache.Modified
-			} else {
-				s.fillL0(c, addr, cache.Modified, vtag)
-			}
-			return hitLat
+			s.fillL0(c, addr, cache.Modified, vtag)
+			return DefaultL1Latency
 		default:
 			// Shared: coherence upgrade through the home node.
+			st := &s.vms[vmID].Stats
 			st.Upgrades++
-			done := s.invalidateOthers(now, c, addr, st)
-			e := s.dir.Get(addr)
+			now := s.now
+			done, e := s.invalidateOthers(now, c, addr, st)
 			e.L1Owner = int8(c)
 			e.L2Owner = int8(s.groupOf(c))
-			l1Line.State = cache.Modified
-			if bl, ok := s.banks[s.groupOf(c)].Probe(addr); ok {
-				bl.State = cache.Modified
+			l1.SetState(w1, cache.Modified)
+			if bw, ok := s.banks[s.groupOf(c)].Probe(addr); ok {
+				s.banks[s.groupOf(c)].SetState(bw, cache.Modified)
 			}
-			if l0Hit {
-				l0Line.State = cache.Modified
-			} else {
-				s.fillL0(c, addr, cache.Modified, vtag)
-			}
+			s.fillL0(c, addr, cache.Modified, vtag)
 			return done - now
 		}
 	}
 
 	// Miss in the last level of private cache: the paper's miss-latency
 	// metric starts here.
+	st := &s.vms[vmID].Stats
 	st.PrivMisses++
+	now := s.now
 	done := s.fetch(c, vmID, addr, write)
 	st.MissLatSum += done - now
 	return done - now
+}
+
+// writeHitL0 services a store that hit in L0: the line is resident in L1
+// too (inclusion is asserted here, off the read path), and the L1 state
+// decides whether the store is silent, a silent E->M upgrade, or a
+// coherence upgrade through the home node.
+func (s *System) writeHitL0(c, vmID int, addr sim.Addr, w0 cache.Way) sim.Cycle {
+	l0, l1 := s.l0[c], s.l1[c]
+	w1, ok := l1.Probe(addr)
+	if !ok {
+		panic(fmt.Sprintf("core: L0/L1 inclusion violated at %#x", addr))
+	}
+	switch {
+	case l1.State(w1) == cache.Modified:
+		l0.SetState(w0, cache.Modified)
+		return DefaultL0Latency
+	case l1.State(w1) == cache.Exclusive:
+		// Silent E->M upgrade; record dirty ownership.
+		l1.SetState(w1, cache.Modified)
+		e := s.dir.Get(addr)
+		e.L1Owner = int8(c)
+		e.L2Owner = int8(s.groupOf(c))
+		if bw, ok := s.banks[s.groupOf(c)].Probe(addr); ok {
+			s.banks[s.groupOf(c)].SetState(bw, cache.Modified)
+		}
+		l0.SetState(w0, cache.Modified)
+		return DefaultL0Latency
+	default:
+		// Shared: coherence upgrade through the home node.
+		st := &s.vms[vmID].Stats
+		st.Upgrades++
+		now := s.now
+		done, e := s.invalidateOthers(now, c, addr, st)
+		e.L1Owner = int8(c)
+		e.L2Owner = int8(s.groupOf(c))
+		l1.SetState(w1, cache.Modified)
+		if bw, ok := s.banks[s.groupOf(c)].Probe(addr); ok {
+			s.banks[s.groupOf(c)].SetState(bw, cache.Modified)
+		}
+		l0.SetState(w0, cache.Modified)
+		return done - now
+	}
 }
 
 // fetch services a private-level miss: probe the core's LLC bank group,
@@ -146,7 +169,7 @@ func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 	// mesh carries directory, cache-to-cache, invalidation and memory
 	// traffic.
 	t := s.bankAccess(s.now, bnode)
-	bLine, bHit := bank.Lookup(addr)
+	bw, bHit := bank.Lookup(addr)
 	e := s.dir.Get(addr)
 
 	if bHit {
@@ -159,7 +182,7 @@ func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 			// Bank forwards; the owner supplies and downgrades.
 			at := s.route(t, bnode, o, CtrlFlits)
 			at += DefaultL1Latency
-			s.downgradeOwner(o, addr)
+			s.downgradeOwner(o, addr, e)
 			t = s.route(at, o, c, DataFlits)
 			st.C2CDirty++
 		}
@@ -182,7 +205,7 @@ func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 			o := int(e.L1Owner)
 			at := s.route(onChipDirT, home, o, CtrlFlits)
 			at += DefaultL1Latency
-			s.downgradeOwner(o, addr)
+			s.downgradeOwner(o, addr, e)
 			t = s.route(at, o, c, DataFlits)
 			st.C2CDirty++
 		case e.L2Owner >= 0:
@@ -192,12 +215,12 @@ func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 			sn := s.bankNode(b, addr)
 			at := s.route(onChipDirT, home, sn, CtrlFlits)
 			at = s.bankAccess(at, sn)
-			sl, ok := s.banks[b].Probe(addr)
+			sw, ok := s.banks[b].Probe(addr)
 			if !ok {
 				panic(fmt.Sprintf("core: directory owner bank %d lost %#x", b, addr))
 			}
-			if sl.State == cache.Modified {
-				sl.State = cache.Owned
+			if s.banks[b].State(sw) == cache.Modified {
+				s.banks[b].SetState(sw, cache.Owned)
 			}
 			t = s.route(at, sn, c, DataFlits)
 			st.C2CDirty++
@@ -223,20 +246,21 @@ func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 		if !e.OnChip() {
 			bankState = cache.Exclusive
 		}
-		victim, evicted, nl := bank.Insert(addr, bankState, vtag)
-		bLine = nl
+		victim, evicted, nw := bank.Insert(addr, bankState, vtag)
+		bw = nw
 		if evicted {
+			// The victim's release may backward-shift addr's own slot;
+			// only then is a re-fetch of e needed.
 			s.evictBankLine(g, victim)
+			e = s.dir.Get(addr)
 		}
-		e = s.dir.Get(addr)
 		e.AddL2(g)
 	}
 
 	// Exclusivity for writes: invalidate every other copy (sequential
 	// with the data fetch — a mild pessimism).
 	if write && (e.L2Count() > 1 || e.L1Sharers != 0) {
-		t = s.invalidateOthers(t, c, addr, st)
-		e = s.dir.Get(addr)
+		t, e = s.invalidateOthers(t, c, addr, st)
 	}
 
 	// Fill the private hierarchy. A second sharer demotes any Exclusive
@@ -248,7 +272,7 @@ func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 		pState = cache.Modified
 		e.L1Owner = int8(c)
 		e.L2Owner = int8(g)
-		bLine.State = cache.Modified
+		bank.SetState(bw, cache.Modified)
 	case e.L1Sharers == 0 && e.L2Count() == 1 && !e.Dirty():
 		pState = cache.Exclusive
 	default:
@@ -266,8 +290,10 @@ func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 // invalidateOthers visits the home node for addr and invalidates every
 // private and bank copy other than requester c's own, waiting for the
 // slowest ack. It clears line ownership; the caller establishes the new
-// owner.
-func (s *System) invalidateOthers(at sim.Cycle, c int, addr sim.Addr, st *vm.Stats) sim.Cycle {
+// owner. It returns the directory entry alongside the ack time: nothing
+// here reshapes the table, so callers use it directly instead of paying
+// another hash walk.
+func (s *System) invalidateOthers(at sim.Cycle, c int, addr sim.Addr, st *vm.Stats) (sim.Cycle, *coherence.Entry) {
 	home := s.dir.Home(addr)
 	t := s.route(at, c, home, CtrlFlits)
 	t, dirHit := s.dirVisit(t, home, addr)
@@ -284,7 +310,7 @@ func (s *System) invalidateOthers(at sim.Cycle, c int, addr sim.Addr, st *vm.Sta
 	for m := e.L1Sharers &^ (1 << uint(c)); m != 0; m &= m - 1 {
 		o := bits.TrailingZeros64(m)
 		a := s.route(t, home, o, CtrlFlits)
-		s.dropPrivate(o, addr)
+		s.dropPrivate(o, addr, e)
 		a = s.route(a, o, c, CtrlFlits)
 		ackT = sim.Max(ackT, a)
 		st.Invalidations++
@@ -309,31 +335,35 @@ func (s *System) invalidateOthers(at sim.Cycle, c int, addr sim.Addr, st *vm.Sta
 	}
 	e.L1Owner = -1
 	e.L2Owner = -1
-	return ackT
+	return ackT, e
 }
 
 // demoteExclusives flips other cores' Exclusive private copies of addr to
 // Shared when a new sharer joins; without this a stale E copy could later
 // take the silent E->M upgrade while other copies exist.
 func (s *System) demoteExclusives(c int, addr sim.Addr, e *coherence.Entry) {
-	for m := e.L1Sharers &^ (1 << uint(c)); m != 0; m &= m - 1 {
-		o := bits.TrailingZeros64(m)
-		if ln, ok := s.l1[o].Probe(addr); ok && ln.State == cache.Exclusive {
-			ln.State = cache.Shared
-		}
-		if ln, ok := s.l0[o].Probe(addr); ok && ln.State == cache.Exclusive {
-			ln.State = cache.Shared
-		}
+	// Exclusive requires having been the sole sharer at fill time, and
+	// this demotion runs whenever a second sharer joins — so with two or
+	// more other sharers every copy is already Shared (or the dirty owner,
+	// handled on the supply path) and the probes can be skipped.
+	m := e.L1Sharers &^ (1 << uint(c))
+	if m == 0 || m&(m-1) != 0 {
+		return
+	}
+	o := bits.TrailingZeros64(m)
+	if w, ok := s.l1[o].Probe(addr); ok && s.l1[o].State(w) == cache.Exclusive {
+		s.l1[o].SetState(w, cache.Shared)
+	}
+	if w, ok := s.l0[o].Probe(addr); ok && s.l0[o].State(w) == cache.Exclusive {
+		s.l0[o].SetState(w, cache.Shared)
 	}
 }
 
 // fillL0 installs a line into core c's L0 (evictions are silent: L0 is a
-// strict subset of L1 and carries no unique state).
+// strict subset of L1 and carries no unique state). InsertIfAbsent folds
+// the old Probe-then-Insert pair into one set scan.
 func (s *System) fillL0(c int, addr sim.Addr, st cache.State, vtag uint8) {
-	if _, ok := s.l0[c].Probe(addr); ok {
-		return
-	}
-	s.l0[c].Insert(addr, st, vtag)
+	s.l0[c].InsertIfAbsent(addr, st, vtag)
 }
 
 // fillL1 installs a line into core c's L1, folding a dirty victim into
@@ -352,13 +382,18 @@ func (s *System) fillL1(c int, addr sim.Addr, st cache.State, vtag uint8) {
 // group's bank; the directory drops the private sharer.
 func (s *System) evictPrivateVictim(c int, victim cache.Line) {
 	g := s.groupOf(c)
-	e, ok := s.dir.Probe(victim.Tag)
+	// Probe, mutate, and release through one slot handle: this runs once
+	// per L1 eviction (the steady-state common case), and the fused walk
+	// halves its directory hashing. Nothing between the probe and the
+	// release touches the table, so the slot index stays valid.
+	si, ok := s.dir.ProbeSlot(victim.Tag)
 	if !ok {
 		return
 	}
+	e := s.dir.EntryAt(si)
 	if victim.State == cache.Modified {
-		if bl, okb := s.banks[g].Probe(victim.Tag); okb {
-			bl.State = cache.Modified
+		if bw, okb := s.banks[g].Probe(victim.Tag); okb {
+			s.banks[g].SetState(bw, cache.Modified)
 			e.L2Owner = int8(g)
 		}
 		if e.L1Owner == int8(c) {
@@ -366,7 +401,7 @@ func (s *System) evictPrivateVictim(c int, victim cache.Line) {
 		}
 	}
 	e.DropL1(c)
-	s.dir.Release(victim.Tag)
+	s.dir.ReleaseSlot(si)
 }
 
 // evictBankLine handles an LLC bank eviction: back-invalidate private
@@ -375,8 +410,9 @@ func (s *System) evictPrivateVictim(c int, victim cache.Line) {
 func (s *System) evictBankLine(g int, victim cache.Line) {
 	addr := victim.Tag
 	dirty := victim.State.Dirty()
-	e, ok := s.dir.Probe(addr)
+	si, ok := s.dir.ProbeSlot(addr)
 	if ok {
+		e := s.dir.EntryAt(si)
 		for o := g * s.cfg.GroupSize; o < (g+1)*s.cfg.GroupSize; o++ {
 			if !e.HasL1(o) {
 				continue
@@ -384,7 +420,7 @@ func (s *System) evictBankLine(g int, victim cache.Line) {
 			if e.L1Owner == int8(o) {
 				dirty = true
 			}
-			s.dropPrivate(o, addr)
+			s.dropPrivate(o, addr, e)
 			s.backInvals++
 		}
 		e.DropL2(g)
@@ -393,34 +429,32 @@ func (s *System) evictBankLine(g int, victim cache.Line) {
 		s.mem.Writeback(s.now, addr)
 	}
 	if ok {
-		s.dir.Release(addr)
+		s.dir.ReleaseSlot(si)
 	}
 }
 
 // dropPrivate removes core o's L0/L1 copies of addr and clears its
-// directory presence.
-func (s *System) dropPrivate(o int, addr sim.Addr) {
+// presence in e, the line's directory entry (every caller already holds
+// it, so re-probing here would only repeat their hash walk).
+func (s *System) dropPrivate(o int, addr sim.Addr, e *coherence.Entry) {
 	s.l0[o].Invalidate(addr)
 	s.l1[o].Invalidate(addr)
-	if e, ok := s.dir.Probe(addr); ok {
-		e.DropL1(o)
-	}
+	e.DropL1(o)
 }
 
 // downgradeOwner services a read of a line core o holds dirty: o keeps a
 // Shared copy, the dirty data folds into o's group bank, which becomes
 // the line's owner.
-func (s *System) downgradeOwner(o int, addr sim.Addr) {
-	if ln, ok := s.l1[o].Probe(addr); ok {
-		ln.State = cache.Shared
+func (s *System) downgradeOwner(o int, addr sim.Addr, e *coherence.Entry) {
+	if w, ok := s.l1[o].Probe(addr); ok {
+		s.l1[o].SetState(w, cache.Shared)
 	}
-	if ln, ok := s.l0[o].Probe(addr); ok {
-		ln.State = cache.Shared
+	if w, ok := s.l0[o].Probe(addr); ok {
+		s.l0[o].SetState(w, cache.Shared)
 	}
 	og := s.groupOf(o)
-	e := s.dir.Get(addr)
-	if bl, ok := s.banks[og].Probe(addr); ok {
-		bl.State = cache.Modified
+	if bw, ok := s.banks[og].Probe(addr); ok {
+		s.banks[og].SetState(bw, cache.Modified)
 		e.L2Owner = int8(og)
 	}
 	if e.L1Owner == int8(o) {

@@ -34,6 +34,15 @@ func taddr(s *System, block uint64) sim.Addr {
 	return s.vms[0].AddrOf(block)
 }
 
+// stateOf probes c for a and returns the resident line's state.
+func stateOf(c *cache.Cache, a sim.Addr) (cache.State, bool) {
+	w, ok := c.Probe(a)
+	if !ok {
+		return cache.Invalid, false
+	}
+	return c.State(w), true
+}
+
 func TestProtocolColdMissGoesToMemory(t *testing.T) {
 	s := protoSystem(t, 1)
 	a := taddr(s, 10)
@@ -47,8 +56,8 @@ func TestProtocolColdMissGoesToMemory(t *testing.T) {
 		t.Errorf("cold miss latency %d below memory latency", lat)
 	}
 	// Sole copy: private state must be Exclusive.
-	if ln, ok := s.l1[0].Probe(a); !ok || ln.State != cache.Exclusive {
-		t.Errorf("sole copy not Exclusive: %+v", ln)
+	if st, ok := stateOf(s.l1[0], a); !ok || st != cache.Exclusive {
+		t.Errorf("sole copy not Exclusive: %v (resident=%v)", st, ok)
 	}
 }
 
@@ -76,11 +85,11 @@ func TestProtocolCleanC2CAcrossBanks(t *testing.T) {
 		t.Errorf("second read went to memory: %d reads", st.MemReads)
 	}
 	// Supplier's private Exclusive copy must have been demoted.
-	if ln, ok := s.l1[0].Probe(a); !ok || ln.State != cache.Shared {
-		t.Errorf("supplier L1 state = %+v, want Shared", ln)
+	if st, ok := stateOf(s.l1[0], a); !ok || st != cache.Shared {
+		t.Errorf("supplier L1 state = %v (resident=%v), want Shared", st, ok)
 	}
-	if ln, ok := s.l1[1].Probe(a); !ok || ln.State != cache.Shared {
-		t.Errorf("requester L1 state = %+v, want Shared", ln)
+	if st, ok := stateOf(s.l1[1], a); !ok || st != cache.Shared {
+		t.Errorf("requester L1 state = %v (resident=%v), want Shared", st, ok)
 	}
 }
 
@@ -95,8 +104,8 @@ func TestProtocolDirtyC2CAcrossBanks(t *testing.T) {
 		t.Fatalf("dirty c2c not recorded: %+v", st)
 	}
 	// Owner downgraded to Shared; its bank holds the dirty data.
-	if ln, ok := s.l1[0].Probe(a); !ok || ln.State != cache.Shared {
-		t.Errorf("previous owner L1 = %+v, want Shared", ln)
+	if st, ok := stateOf(s.l1[0], a); !ok || st != cache.Shared {
+		t.Errorf("previous owner L1 = %v (resident=%v), want Shared", st, ok)
 	}
 	e, ok := s.dir.Probe(a)
 	if !ok {
@@ -143,8 +152,8 @@ func TestProtocolWriteInvalidatesSharers(t *testing.T) {
 			t.Errorf("bank %d still holds the line after a remote write", c)
 		}
 	}
-	if ln, ok := s.l1[3].Probe(a); !ok || ln.State != cache.Modified {
-		t.Errorf("writer's state = %+v, want Modified", ln)
+	if st, ok := stateOf(s.l1[3], a); !ok || st != cache.Modified {
+		t.Errorf("writer's state = %v (resident=%v), want Modified", st, ok)
 	}
 	e, _ := s.dir.Probe(a)
 	if e.L1Count() != 1 || e.L2Count() != 1 {
@@ -170,8 +179,8 @@ func TestProtocolUpgradeOnSharedWrite(t *testing.T) {
 	if _, ok := s.l1[1].Probe(a); ok {
 		t.Error("stale copy survived the upgrade")
 	}
-	if ln, _ := s.l1[0].Probe(a); ln.State != cache.Modified {
-		t.Errorf("upgraded line state = %v", ln.State)
+	if st, _ := stateOf(s.l1[0], a); st != cache.Modified {
+		t.Errorf("upgraded line state = %v", st)
 	}
 }
 
@@ -262,12 +271,12 @@ func TestProtocolL1EvictionFoldsDirtyIntoBank(t *testing.T) {
 	if _, ok := l1.Probe(first); ok {
 		t.Skip("L1 kept the dirty line under this sequence")
 	}
-	bl, ok := s.banks[0].Probe(first)
+	bst, ok := stateOf(s.banks[0], first)
 	if !ok {
 		t.Fatal("bank lost the line")
 	}
-	if bl.State != cache.Modified {
-		t.Errorf("bank state after dirty L1 eviction = %v, want Modified", bl.State)
+	if bst != cache.Modified {
+		t.Errorf("bank state after dirty L1 eviction = %v, want Modified", bst)
 	}
 	e, _ := s.dir.Probe(first)
 	if e.L1Owner != -1 || e.L2Owner != 0 {
@@ -296,8 +305,8 @@ func TestProtocolRemoteDirtyBankSupplies(t *testing.T) {
 		t.Fatalf("remote dirty bank supply not recorded: %+v", st)
 	}
 	// Supplier bank keeps an Owned copy.
-	if bl, ok := s.banks[0].Probe(a); !ok || bl.State != cache.Owned {
-		t.Errorf("supplier bank state = %+v, want Owned", bl)
+	if st, ok := stateOf(s.banks[0], a); !ok || st != cache.Owned {
+		t.Errorf("supplier bank state = %v (resident=%v), want Owned", st, ok)
 	}
 }
 
@@ -305,7 +314,7 @@ func TestProtocolVMTagOnLines(t *testing.T) {
 	s := protoSystem(t, 4)
 	a := taddr(s, 100)
 	s.access(2, 0, a, false)
-	if bl, ok := s.banks[0].Probe(a); !ok || bl.VM != 0 {
-		t.Errorf("bank line VM tag = %+v", bl)
+	if w, ok := s.banks[0].Probe(a); !ok || s.banks[0].WayVM(w) != 0 {
+		t.Errorf("bank line resident=%v", ok)
 	}
 }

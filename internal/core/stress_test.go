@@ -145,7 +145,7 @@ func TestStressSingleLineAllCores(t *testing.T) {
 	}
 	owners := 0
 	for _, c := range cores {
-		if ln, ok := sys.l1[c].Probe(a); ok && ln.State == cache.Modified {
+		if w, ok := sys.l1[c].Probe(a); ok && sys.l1[c].State(w) == cache.Modified {
 			owners++
 			if e.L1Owner != int8(c) {
 				t.Errorf("modified copy at core %d but owner is %d", c, e.L1Owner)

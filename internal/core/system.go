@@ -58,6 +58,7 @@ type System struct {
 	cores      []coreState
 	assignment [][]int
 	thinkOf    []uint64 // per-VM 2*mean+1 think-time draw range
+	regions    []workload.Regions // per-VM footprint classifier (hot-loop cache)
 
 	// Switches counts hypervisor timeslice rotations (over-commit mode).
 	Switches uint64
@@ -74,6 +75,11 @@ type System struct {
 	q   *sim.EventQueue
 
 	backInvals uint64
+
+	// simSeconds accumulates host time spent inside runUntil only, so
+	// Result.WallSeconds reflects simulation work and is not skewed by
+	// hook/trace/manifest publishing or snapshot accounting.
+	simSeconds float64
 
 	// Reusable scratch for rebalance and installPartitions; both fire
 	// every RebalanceCycles in the dynamic-scheduling study, and the
@@ -166,6 +172,7 @@ func NewSystem(cfg Config) (*System, error) {
 		m := vm.New(i, src, base)
 		base = m.RegionEnd(1 << 20)
 		s.vms = append(s.vms, m)
+		s.regions = append(s.regions, m.Gen.Spec().Regions(cfg.ThreadsOf(i)))
 		vmThreads[i] = cfg.ThreadsOf(i)
 	}
 	asg, err := sched.AssignWithCapacity(cfg.Policy, cfg.Cores, cfg.GroupSize, cfg.CoreCapacity(), vmThreads, cfg.Seed^0xa5a5)
@@ -363,7 +370,6 @@ func (s *System) Run() (Result, error) {
 	if len(s.vms) == 0 {
 		return Result{}, fmt.Errorf("core: empty system")
 	}
-	runStart := time.Now()
 	h := s.hooks
 	lane := 0
 	if h != nil {
@@ -436,7 +442,7 @@ func (s *System) Run() (Result, error) {
 	}
 
 	res := Result{
-		WallSeconds:     time.Since(runStart).Seconds(),
+		WallSeconds:     s.simSeconds,
 		Config:          s.cfg,
 		Cycles:          window,
 		Snapshot:        snap,
@@ -474,6 +480,14 @@ func (s *System) Run() (Result, error) {
 // loop runs until the machine has issued target references per
 // originally-active core in aggregate.
 func (s *System) runUntil(target uint64) {
+	start := time.Now()
+	s.runLoop(target)
+	s.simSeconds += time.Since(start).Seconds()
+}
+
+// runLoop is runUntil's event loop, separated so the wall-clock
+// accounting wraps exactly the simulation work.
+func (s *System) runLoop(target uint64) {
 	dynamic := s.cfg.RebalanceCycles > 0
 	remaining := 0
 	for c := range s.cores {
@@ -516,8 +530,7 @@ func (s *System) runUntil(target uint64) {
 		m.Stats.Refs++
 		s.globalRefs++
 		if m.Stats.LLCMisses != missesBefore {
-			region := m.Gen.Spec().RegionOf(acc.Block, s.cfg.ThreadsOf(run.vmID))
-			m.Stats.RegionMisses[region]++
+			m.Stats.RegionMisses[s.regions[run.vmID].Of(acc.Block)]++
 		}
 		if s.hooks != nil {
 			if m.Stats.PrivMisses != privBefore {

@@ -22,6 +22,12 @@ type Model struct {
 	g    Geometry
 	pipe sim.Cycle
 
+	// next packs the DOR next hop for every (cur, dst) pair: output port
+	// in the high 3 bits, neighbor node in the low 13. Routing a hop is a
+	// single table load instead of two Coord divisions and a branch tree.
+	next   []uint16
+	stride int
+
 	last []([numPorts]sim.Cycle)
 	util []([numPorts]float64)
 
@@ -54,12 +60,29 @@ func NewModel(g Geometry, pipeStages int) *Model {
 	if pipeStages <= 0 {
 		panic("mesh: non-positive pipeline depth")
 	}
-	return &Model{
-		g:    g,
-		pipe: sim.Cycle(pipeStages),
-		last: make([][numPorts]sim.Cycle, g.Nodes()),
-		util: make([][numPorts]float64, g.Nodes()),
+	n := g.Nodes()
+	if n > 1<<13 {
+		panic("mesh: geometry exceeds packed route-table capacity")
 	}
+	m := &Model{
+		g:      g,
+		pipe:   sim.Cycle(pipeStages),
+		next:   make([]uint16, n*n),
+		stride: n,
+		last:   make([][numPorts]sim.Cycle, n),
+		util:   make([][numPorts]float64, n),
+	}
+	for cur := 0; cur < n; cur++ {
+		for dst := 0; dst < n; dst++ {
+			p := g.route(cur, dst)
+			nb := cur
+			if p != Local {
+				nb = g.neighbor(cur, p)
+			}
+			m.next[cur*n+dst] = uint16(p)<<13 | uint16(nb)
+		}
+	}
+	return m
 }
 
 // Geometry returns the modeled mesh shape.
@@ -75,8 +98,11 @@ func (m *Model) Latency(now sim.Cycle, src, dst, flits int) sim.Cycle {
 	m.Transfers++
 	t := now
 	cur := src
+	fl := float64(flits)
+	half := fl * 0.5
 	for cur != dst {
-		p := m.g.route(cur, dst)
+		nx := m.next[cur*m.stride+dst]
+		p := Port(nx >> 13)
 
 		// Update the link's offered-rate EWMA with this message.
 		dt := float64(1)
@@ -84,22 +110,28 @@ func (m *Model) Latency(now sim.Cycle, src, dst, flits int) sim.Cycle {
 			dt = float64(t - m.last[cur][p])
 			m.last[cur][p] = t
 		}
-		u := m.util[cur][p]*utilTau/(utilTau+dt) + float64(flits)/(utilTau+dt)
-		m.util[cur][p] = u
-		if u > utilCap {
-			u = utilCap
-		}
+		num := m.util[cur][p]*utilTau + fl
+		den := utilTau + dt
+		m.util[cur][p] = num / den
 
 		// M/D/1-flavoured queueing delay: service time is the message's
-		// serialization latency; delay grows as rho/(1-rho).
-		wait := sim.Cycle(u / (1 - u) * float64(flits) * 0.5)
+		// serialization latency; delay grows as rho/(1-rho). With
+		// u = num/den, the ratio u/(1-u) is num/(den-num): one division
+		// per hop instead of two (divides dominate this loop). The
+		// utilization cap keeps the term finite near saturation.
+		var wait sim.Cycle
+		if d := den - num; d > den*(1-utilCap) {
+			wait = sim.Cycle(num / d * half)
+		} else {
+			wait = sim.Cycle(utilCap / (1 - utilCap) * half)
+		}
 		m.WaitCycles += wait
 		if m.LinkWait != nil {
 			m.LinkWait[cur][p] += wait
 		}
 
 		t += wait + m.pipe
-		cur = m.g.neighbor(cur, p)
+		cur = int(nx & 0x1fff)
 		m.HopsSum++
 	}
 	// Ejection through the destination router pipeline plus tail

@@ -1,75 +1,168 @@
 package sim
 
-// EventQueue is a binary min-heap of (time, payload) pairs used by the
-// event-driven engine. Payloads are small integers (core IDs, component
+import "math/bits"
+
+// EventQueue is a bucketed calendar queue of (time, payload) pairs used by
+// the event-driven engine. Payloads are small integers (core IDs, component
 // IDs) so the queue is allocation-free in steady state.
+//
+// The simulator keeps at most one in-flight event per core (~16 pending
+// events) and almost every reschedule lands within a few cycles of the
+// current time, with occasional memory-latency stragglers ~150-250 cycles
+// ahead. The queue is sized for exactly that regime: 256 one-cycle buckets
+// (one 256-cycle lap) put every event of a given cycle in its own bucket,
+// so a pop is a handful of contiguous loads instead of a pointer-chasing
+// heap sift, and the stragglers stay well inside a single lap.
+//
+// Ties are popped in FIFO push order: equal times always hash to the same
+// bucket, buckets preserve insertion order, and with one-cycle buckets
+// every in-window event of a bucket shares the same time, so the first
+// in-window element is the earliest-pushed among equals. This makes
+// same-cycle event ordering deterministic by construction (the binary heap
+// it replaces delivered ties in heap-shape order, which depended on the
+// interleaving history).
 type EventQueue struct {
-	at  []Cycle
-	val []int
+	buckets [][]event
+	// occ is an occupancy bitmap over buckets: Pop jumps straight to the
+	// next non-empty bucket with a TrailingZeros instead of stepping
+	// through the empty cycles between events (think times put the next
+	// event tens of cycles ahead on average).
+	occ    [eqNumBuckets / 64]uint64
+	mask   uint64
+	n      int
+	cur    uint64 // index of the bucket holding the current cycle
+	curTop Cycle  // exclusive end of the current one-cycle window
 }
 
-// NewEventQueue returns a queue with capacity hint n.
+type event struct {
+	at  Cycle
+	val int
+}
+
+const eqNumBuckets = 256 // one-cycle buckets; must be a power of two
+
+// NewEventQueue returns a queue with capacity hint n. Every bucket is
+// pre-sized to hold n events (all pending events can tie on one cycle),
+// so pushes never grow a bucket in the hinted regime and the queue stays
+// allocation-free in steady state.
 func NewEventQueue(n int) *EventQueue {
-	return &EventQueue{
-		at:  make([]Cycle, 0, n),
-		val: make([]int, 0, n),
+	per := n
+	if per < 4 {
+		per = 4
 	}
+	q := &EventQueue{
+		buckets: make([][]event, eqNumBuckets),
+		mask:    eqNumBuckets - 1,
+		curTop:  1,
+	}
+	backing := make([]event, eqNumBuckets*per)
+	for i := range q.buckets {
+		q.buckets[i] = backing[i*per : i*per : (i+1)*per]
+	}
+	return q
 }
 
 // Len reports the number of pending events.
-func (q *EventQueue) Len() int { return len(q.at) }
+func (q *EventQueue) Len() int { return q.n }
 
 // Push schedules value v at time t.
 func (q *EventQueue) Push(t Cycle, v int) {
-	q.at = append(q.at, t)
-	q.val = append(q.val, v)
-	i := len(q.at) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if q.at[parent] <= q.at[i] {
-			break
+	if t < q.curTop-1 {
+		// A push behind the current window (never taken by the simulator,
+		// whose reschedules are monotone): rewind the window so the scan
+		// starts early enough. Everything already pending is at or after
+		// the old window, so re-scanning forward from here stays ordered.
+		q.cur = uint64(t) & q.mask
+		q.curTop = t + 1
+	}
+	i := uint64(t) & q.mask
+	q.buckets[i] = append(q.buckets[i], event{at: t, val: v})
+	q.occ[i>>6] |= 1 << (i & 63)
+	q.n++
+}
+
+// Pop removes and returns the earliest event; equal times pop in push
+// order. It panics on an empty queue; callers always check Len first.
+func (q *EventQueue) Pop() (Cycle, int) {
+	if q.n == 0 {
+		panic("sim: Pop on empty EventQueue")
+	}
+	for advanced := uint64(0); ; {
+		d := q.nextOccDelta()
+		if advanced += d; advanced > eqNumBuckets {
+			// Every occupied bucket in a full lap held only events beyond
+			// the window (a sparse stretch of more than one lap): jump
+			// straight to the global minimum's bucket.
+			at, _, _ := q.min()
+			q.cur = uint64(at) & q.mask
+			q.curTop = at + 1
+			advanced = 0
+		} else {
+			q.cur = (q.cur + d) & q.mask
+			q.curTop += Cycle(d)
 		}
-		q.swap(i, parent)
-		i = parent
+		b := q.buckets[q.cur]
+		for i := range b {
+			// One-cycle buckets: every in-window event here shares the
+			// same time, so the first one is the earliest pushed.
+			if b[i].at < q.curTop {
+				e := b[i]
+				nb := append(b[:i], b[i+1:]...)
+				q.buckets[q.cur] = nb
+				if len(nb) == 0 {
+					q.occ[q.cur>>6] &^= 1 << (q.cur & 63)
+				}
+				q.n--
+				return e.at, e.val
+			}
+		}
+		// The occupied bucket held only future laps; step past it.
+		q.cur = (q.cur + 1) & q.mask
+		q.curTop++
+		advanced++
 	}
 }
 
-// Pop removes and returns the earliest event. It panics on an empty queue;
-// callers always check Len first.
-func (q *EventQueue) Pop() (Cycle, int) {
-	t, v := q.at[0], q.val[0]
-	last := len(q.at) - 1
-	q.at[0], q.val[0] = q.at[last], q.val[last]
-	q.at, q.val = q.at[:last], q.val[:last]
-	q.siftDown(0)
-	return t, v
+// nextOccDelta returns the cyclic distance from the current bucket to the
+// nearest occupied one (zero when the current bucket is occupied). With
+// pending events it is always < eqNumBuckets.
+func (q *EventQueue) nextOccDelta() uint64 {
+	w := q.cur >> 6
+	off := q.cur & 63
+	if v := q.occ[w] >> off; v != 0 {
+		return uint64(bits.TrailingZeros64(v))
+	}
+	d := 64 - off
+	const words = uint64(len(q.occ))
+	for k := uint64(1); k <= words; k++ {
+		if v := q.occ[(w+k)&(words-1)]; v != 0 {
+			return d + uint64(bits.TrailingZeros64(v))
+		}
+		d += 64
+	}
+	return d
 }
 
 // Peek returns the earliest event without removing it.
 func (q *EventQueue) Peek() (Cycle, int) {
-	return q.at[0], q.val[0]
+	at, v, _ := q.min()
+	return at, v
 }
 
-func (q *EventQueue) siftDown(i int) {
-	n := len(q.at)
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && q.at[l] < q.at[smallest] {
-			smallest = l
+// min scans every bucket for the globally earliest event. Ties share a
+// bucket, so taking the first slice occurrence preserves push order.
+func (q *EventQueue) min() (Cycle, int, bool) {
+	var (
+		bestAt  Cycle
+		bestVal int
+		found   bool
+	)
+	for _, b := range q.buckets {
+		for i := range b {
+			if !found || b[i].at < bestAt {
+				bestAt, bestVal, found = b[i].at, b[i].val, true
+			}
 		}
-		if r < n && q.at[r] < q.at[smallest] {
-			smallest = r
-		}
-		if smallest == i {
-			return
-		}
-		q.swap(i, smallest)
-		i = smallest
 	}
-}
-
-func (q *EventQueue) swap(i, j int) {
-	q.at[i], q.at[j] = q.at[j], q.at[i]
-	q.val[i], q.val[j] = q.val[j], q.val[i]
+	return bestAt, bestVal, found
 }

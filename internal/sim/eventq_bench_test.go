@@ -1,0 +1,41 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventQueueSteadyState measures one push/pop round trip at the
+// simulator's operating point: one in-flight event per core (16 pending)
+// with mostly short reschedules and occasional memory-latency stragglers.
+func BenchmarkEventQueueSteadyState(b *testing.B) {
+	// Reschedule deltas in roughly the simulator's observed mix: think
+	// times and cache hits a few cycles out, bank conflicts in the tens,
+	// and memory round trips at ~150-250 cycles.
+	deltas := [...]Cycle{1, 2, 3, 4, 14, 3, 2, 40, 1, 3, 150, 2, 4, 3, 250, 2}
+	const pending = 16
+	q := NewEventQueue(pending)
+	for i := 0; i < pending; i++ {
+		q.Push(Cycle(1+i), i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at, v := q.Pop()
+		q.Push(at+deltas[i&(len(deltas)-1)], v)
+	}
+}
+
+// BenchmarkEventQueueDense measures the all-ties worst case: every
+// pending event on the same cycle, so pops drain one bucket in FIFO
+// order and pushes refill it.
+func BenchmarkEventQueueDense(b *testing.B) {
+	const pending = 16
+	q := NewEventQueue(pending)
+	for i := 0; i < pending; i++ {
+		q.Push(1, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at, v := q.Pop()
+		q.Push(at+1, v)
+	}
+}

@@ -55,21 +55,56 @@ func TestEventQueuePeek(t *testing.T) {
 }
 
 func TestEventQueueTieStability(t *testing.T) {
-	// Ties may pop in any order but all must be delivered.
+	// Ties pop in FIFO push order: the calendar queue's in-window scan
+	// takes the strictly-earliest event, so the first pushed among equal
+	// times always wins.
 	q := NewEventQueue(4)
 	for i := 0; i < 10; i++ {
 		q.Push(42, i)
 	}
-	seen := map[int]bool{}
-	for q.Len() > 0 {
+	for want := 0; q.Len() > 0; want++ {
 		at, v := q.Pop()
 		if at != 42 {
 			t.Fatalf("time corrupted: %d", at)
 		}
-		seen[v] = true
+		if v != want {
+			t.Fatalf("tie popped out of push order: got %d, want %d", v, want)
+		}
 	}
-	if len(seen) != 10 {
-		t.Fatalf("lost tied events: %d", len(seen))
+}
+
+func TestEventQueueTieFIFOInterleavedWithOtherTimes(t *testing.T) {
+	// FIFO among ties must hold even when the tied pushes are interleaved
+	// with pushes at other times (the simulator regime: several cores
+	// rescheduled for the same cycle between unrelated events).
+	q := NewEventQueue(8)
+	q.Push(100, -1)
+	q.Push(50, 0)
+	q.Push(200, -2)
+	q.Push(50, 1)
+	q.Push(50, 2)
+	for want := 0; want < 3; want++ {
+		at, v := q.Pop()
+		if at != 50 || v != want {
+			t.Fatalf("pop = (%d,%d), want (50,%d)", at, v, want)
+		}
+	}
+}
+
+func TestEventQueueSparseGap(t *testing.T) {
+	// An event far beyond one bucket lap must still pop correctly (the
+	// queue jumps to the global minimum instead of walking empty buckets
+	// forever).
+	q := NewEventQueue(4)
+	q.Push(1, 0)
+	q.Pop()
+	q.Push(1_000_000, 1)
+	q.Push(1_000_000+7, 2)
+	if at, v := q.Pop(); at != 1_000_000 || v != 1 {
+		t.Fatalf("pop = (%d,%d)", at, v)
+	}
+	if at, v := q.Pop(); at != 1_000_007 || v != 2 {
+		t.Fatalf("pop = (%d,%d)", at, v)
 	}
 }
 

@@ -1,6 +1,9 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a small, fast, deterministic pseudo-random generator
 // (splitmix64). It is not safe for concurrent use; each simulated thread
@@ -38,15 +41,19 @@ func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	return int(r.Uint64n(uint64(n)))
 }
 
 // Uint64n returns a uniform value in [0, n). n must be positive.
+// Range reduction is Lemire's multiply-shift (the high 64 bits of
+// u * n) rather than a modulo: no integer division, and the residual
+// bias (< n/2^64) is far below the modulo method's own bias.
 func (r *RNG) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("sim: Uint64n with zero n")
 	}
-	return r.Uint64() % n
+	hi, _ := bits.Mul64(r.Uint64(), n)
+	return hi
 }
 
 // Float64 returns a uniform value in [0, 1).
@@ -72,48 +79,117 @@ func (r *RNG) Split() *RNG {
 }
 
 // Zipf samples ranks in [0, n) with probability proportional to
-// 1/(rank+1)^theta. It uses the inverse-CDF power-law approximation, which
-// is O(1) per sample and close enough to true Zipf for cache-reuse
-// modeling (the approximation error is far below workload-model error).
+// 1/(rank+1)^theta. The per-rank masses come from the inverse-CDF
+// power-law approximation (O(1), close enough to true Zipf for cache-reuse
+// modeling), but sampling uses a precomputed Vose alias table: one RNG
+// draw, one table probe, no math.Pow in the hot loop. Construction costs
+// O(n) pow calls; samplers are built once per generator over hot sets of
+// at most a few tens of thousands of ranks.
 type Zipf struct {
-	n       uint64
-	theta   float64
-	oneMinT float64
-	inv     float64
-	// hiM1 is (n+1)^(1-theta) - 1, a per-sampler constant of the inverse
-	// CDF hoisted out of Sample; math.Pow is a large share of generator
-	// cost and this half is invariant across samples.
-	hiM1 float64
+	n     uint64
+	slots []zipfSlot
+}
+
+// zipfSlot is one alias-table bucket: the acceptance threshold for the
+// low 64 product bits and the rank to fall back to on rejection. Packing
+// both into one slot makes a sample a single table load.
+type zipfSlot struct {
+	thresh uint64
+	alias  uint32
 }
 
 // NewZipf returns a sampler over [0, n) with skew theta in (0, 1) U (1, inf).
 // theta near 0 approaches uniform; larger theta concentrates mass on low
 // ranks. theta == 1 is remapped to 0.999 to keep the closed form valid.
+// n must fit in 32 bits (alias entries are packed); the simulator's hot
+// sets are orders of magnitude smaller.
 func NewZipf(n uint64, theta float64) *Zipf {
 	if n == 0 {
 		panic("sim: Zipf over empty range")
+	}
+	if n > math.MaxUint32 {
+		panic("sim: Zipf range exceeds 32-bit alias capacity")
 	}
 	if theta == 1 {
 		theta = 0.999
 	}
 	om := 1 - theta
-	return &Zipf{
-		n: n, theta: theta, oneMinT: om, inv: 1 / om,
-		hiM1: math.Pow(float64(n+1), om) - 1,
+	// Per-rank masses of the inverse power-law CDF on [1, n+1): rank k
+	// captures u in [u_k, u_{k+1}) with u_k = ((k+1)^(1-t) - 1) / hiM1.
+	// The sequence ends at exactly 1, so pinning the last boundary folds
+	// any floating-point tail into rank n-1 (matching the old clamp).
+	hiM1 := math.Pow(float64(n+1), om) - 1
+	scaled := make([]float64, n)
+	prev := 0.0
+	for k := uint64(0); k < n; k++ {
+		uk := (math.Pow(float64(k+2), om) - 1) / hiM1
+		if k == n-1 {
+			uk = 1
+		}
+		scaled[k] = (uk - prev) * float64(n)
+		prev = uk
 	}
+	// Vose alias construction: pair each under-full rank with an over-full
+	// donor so every table slot splits between at most two ranks. The two
+	// worklists share one array: under-full ranks stack up from the front,
+	// over-full donors from the back.
+	z := &Zipf{n: n, slots: make([]zipfSlot, n)}
+	work := make([]uint32, n)
+	ns, nl := 0, 0
+	for i := uint64(0); i < n; i++ {
+		z.slots[i].alias = uint32(i)
+		if scaled[i] < 1 {
+			work[ns] = uint32(i)
+			ns++
+		} else {
+			nl++
+			work[n-uint64(nl)] = uint32(i)
+		}
+	}
+	for ns > 0 && nl > 0 {
+		s := work[ns-1]
+		ns--
+		l := work[n-uint64(nl)]
+		z.slots[s].thresh = fracToThresh(scaled[s])
+		z.slots[s].alias = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			nl--
+			work[ns] = l
+			ns++
+		}
+	}
+	// Leftovers on either list hold mass 1 up to rounding: always accept.
+	for i := 0; i < ns; i++ {
+		z.slots[work[i]].thresh = ^uint64(0)
+	}
+	for i := 0; i < nl; i++ {
+		z.slots[work[n-uint64(i)-1]].thresh = ^uint64(0)
+	}
+	return z
 }
 
-// Sample draws a rank using randomness from r.
-func (z *Zipf) Sample(r *RNG) uint64 {
-	// Inverse CDF of the continuous power-law on [1, n+1):
-	// x = ((n+1)^(1-t) - 1) * u + 1, rank = floor(x^(1/(1-t))) - 1.
-	u := r.Float64()
-	x := z.hiM1*u + 1
-	rank := uint64(math.Pow(x, z.inv)) - 1
-	if rank >= z.n {
-		rank = z.n - 1
+// fracToThresh maps an acceptance probability in [0, 1] to a threshold on
+// a uniform 64-bit value.
+func fracToThresh(p float64) uint64 {
+	if p >= 1 {
+		return ^uint64(0)
 	}
-	return rank
+	if p <= 0 {
+		return 0
+	}
+	return uint64(math.Ldexp(p, 64))
+}
+
+// Sample draws a rank using randomness from r: the high product bits pick
+// a uniform table slot, the low bits split the slot between its two ranks.
+func (z *Zipf) Sample(r *RNG) uint64 {
+	hi, lo := bits.Mul64(r.Uint64(), z.n)
+	s := z.slots[hi]
+	if lo < s.thresh {
+		return hi
+	}
+	return uint64(s.alias)
 }
 
 // N returns the size of the sampled range.

@@ -213,6 +213,29 @@ func TestZipfSingleElement(t *testing.T) {
 	}
 }
 
+func TestZipfAliasMatchesAnalyticMasses(t *testing.T) {
+	// The alias table must reproduce the inverse-CDF approximation's
+	// per-rank masses p_k = ((k+2)^(1-t) - (k+1)^(1-t)) / ((n+1)^(1-t) - 1).
+	const n, theta, draws = 64, 0.8, 400_000
+	om := 1 - theta
+	hiM1 := math.Pow(n+1, om) - 1
+	r := NewRNG(37)
+	z := NewZipf(n, theta)
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(r)]++
+	}
+	for k := 0; k < n; k++ {
+		want := (math.Pow(float64(k+2), om) - math.Pow(float64(k+1), om)) / hiM1
+		got := float64(counts[k]) / draws
+		// 5-sigma binomial tolerance plus an absolute floor for tiny masses.
+		tol := 5*math.Sqrt(want*(1-want)/draws) + 1e-4
+		if math.Abs(got-want) > tol {
+			t.Errorf("rank %d: freq %.5f, want %.5f (tol %.5f)", k, got, want, tol)
+		}
+	}
+}
+
 func TestZipfPanicsOnEmpty(t *testing.T) {
 	defer func() {
 		if recover() == nil {

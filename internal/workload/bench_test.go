@@ -3,7 +3,8 @@ package workload
 import "testing"
 
 // BenchmarkGeneratorNext measures reference-stream generation (called
-// once per simulated memory access).
+// once per simulated memory access). The cost is dominated by the
+// amortized per-batch fill; the fast path is a ring load.
 func BenchmarkGeneratorNext(b *testing.B) {
 	for _, c := range All() {
 		spec := Specs()[c]
@@ -13,6 +14,24 @@ func BenchmarkGeneratorNext(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				g.Next(i & 3)
+			}
+		})
+	}
+}
+
+// BenchmarkGeneratorBatchFill isolates the batch-sampling cold path:
+// each iteration re-samples one full per-thread ring (genBatch
+// references), so ns/op divided by genBatch is the pure sampling cost
+// per reference without ring-consumption overhead.
+func BenchmarkGeneratorBatchFill(b *testing.B) {
+	for _, c := range All() {
+		spec := Specs()[c]
+		b.Run(spec.Name, func(b *testing.B) {
+			g := NewGenerator(spec, 4, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.fill(i & 3)
 			}
 		})
 	}

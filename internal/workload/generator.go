@@ -68,16 +68,24 @@ type migRun struct {
 	remaining int
 }
 
+// genBatch is the per-thread ring size: Next refills a thread's ring in
+// one tight loop every genBatch references, amortizing per-call overhead
+// (RNG/layout/mix loads, migratory-episode state) across the batch.
+const genBatch = 256
+
 // Generator produces the reference streams for one workload instance's
 // threads. It is deterministic given its seed; each thread has an
 // independent random stream so per-thread interleaving does not perturb
-// the workload.
+// the workload. References are pre-sampled genBatch at a time into a
+// per-thread ring; only the shared cursors (the collaborative scan and
+// the shared-region cold sweep) observe cross-thread order, and they
+// advance at batch-generation time rather than per consumed reference.
 type Generator struct {
 	spec    Spec
 	threads int
 	lay     layout
 
-	rngs       []*sim.RNG
+	rngs       []sim.RNG // by value: one allocation, no pointer hops in fill
 	zipfPriv   *sim.Zipf
 	zipfShared *sim.Zipf
 
@@ -86,7 +94,10 @@ type Generator struct {
 	sharedCold uint64   // global cold-sweep position (monotonic)
 	scanCount  uint64   // global scan reference counter
 
-	refs []uint64 // per-thread reference counts
+	genRefs []uint64 // per-thread generated counts (drive phase position)
+
+	ring    [][]Access // per-thread pre-sampled references
+	ringPos []int      // next unconsumed ring index; len(ring[t]) when drained
 
 	// Per-thread cached phase state (recomputed at phase boundaries).
 	phaseIdx []int
@@ -107,12 +118,19 @@ func NewGenerator(spec Spec, threads int, seed uint64) *Generator {
 		spec:      spec,
 		threads:   threads,
 		lay:       layoutFor(spec, threads),
-		rngs:      make([]*sim.RNG, threads),
+		rngs:      make([]sim.RNG, threads),
 		mig:       make([]migRun, threads),
 		privSweep: make([]uint64, threads),
-		refs:      make([]uint64, threads),
+		genRefs:   make([]uint64, threads),
+		ring:      make([][]Access, threads),
+		ringPos:   make([]int, threads),
 		phaseIdx:  make([]int, threads),
 		mix:       make([]phaseMix, threads),
+	}
+	backing := make([]Access, threads*genBatch)
+	for t := 0; t < threads; t++ {
+		g.ring[t] = backing[t*genBatch : (t+1)*genBatch : (t+1)*genBatch]
+		g.ringPos[t] = genBatch // empty: first Next triggers a fill
 	}
 	for t := 0; t < threads; t++ {
 		g.phaseIdx[t] = spec.phaseAt(spec.PhaseOffset)
@@ -120,7 +138,8 @@ func NewGenerator(spec Spec, threads int, seed uint64) *Generator {
 	}
 	root := sim.NewRNG(seed ^ uint64(spec.Class)<<32)
 	for i := range g.rngs {
-		g.rngs[i] = root.Split()
+		// Same stream derivation as root.Split, without the allocation.
+		g.rngs[i].Seed(root.Uint64())
 	}
 	hot := uint64(spec.HotBlocksPriv)
 	if hot > g.lay.privPerThread {
@@ -144,79 +163,118 @@ func (g *Generator) Threads() int { return g.threads }
 // FootprintBlocks returns the size of the workload's block address space.
 func (g *Generator) FootprintBlocks() uint64 { return g.lay.total }
 
-// Next produces thread t's next reference.
+// Next produces thread t's next reference. The body stays small enough
+// to inline into the simulator's event loop; the ring refill is the cold
+// path, and consumed-reference counts fall out of the ring position (see
+// Refs) so the fast path touches nothing but the ring.
 func (g *Generator) Next(t int) Access {
-	r := g.rngs[t]
-	g.refs[t]++
+	i := g.ringPos[t]
+	if i == genBatch {
+		return g.refill(t)
+	}
+	g.ringPos[t] = i + 1
+	return g.ring[t][i]
+}
 
-	// Track phase transitions (no-op for unphased specs).
-	if len(g.spec.Phases) > 0 {
-		if idx := g.spec.phaseAt(g.refs[t] + g.spec.PhaseOffset); idx != g.phaseIdx[t] {
-			g.phaseIdx[t] = idx
-			g.mix[t] = g.spec.mixFor(idx)
+// refill drains the cold path of Next: re-sample the thread's ring and
+// hand out its first reference.
+func (g *Generator) refill(t int) Access {
+	g.fill(t)
+	g.ringPos[t] = 1
+	return g.ring[t][0]
+}
+
+// fill pre-samples the next genBatch references for thread t. Hot state
+// (RNG, layout, mix, migratory episode, sweep cursor) lives in locals for
+// the duration of the batch; only the shared cursors touch the Generator.
+func (g *Generator) fill(t int) {
+	ring := g.ring[t][:genBatch:genBatch]
+	r := &g.rngs[t]
+	lay := &g.lay
+	spec := &g.spec
+	gen := g.genRefs[t]
+	phased := len(spec.Phases) > 0
+	mig := g.mig[t]
+	privSweep := g.privSweep[t]
+	base := uint64(t) * lay.privPerThread
+	mix := g.mix[t]
+
+	for i := range ring {
+		gen++
+		// Track phase transitions (no-op for unphased specs).
+		if phased {
+			if idx := spec.phaseAt(gen + spec.PhaseOffset); idx != g.phaseIdx[t] {
+				g.phaseIdx[t] = idx
+				g.mix[t] = spec.mixFor(idx)
+				mix = g.mix[t]
+			}
+		}
+
+		// An in-progress migratory episode takes priority: the burst must
+		// finish with its write for ownership to move.
+		if mig.remaining > 0 {
+			mig.remaining--
+			ring[i] = Access{
+				Block: lay.migBase + mig.block,
+				Write: mig.remaining == 0,
+			}
+			continue
+		}
+
+		u := r.Float64()
+		switch {
+		case u < mix.pMig:
+			// Start a migratory episode on a uniformly chosen block of the
+			// small migratory region; it was most likely last written by
+			// another thread, so the first touch is a dirty transfer.
+			b := r.Uint64n(lay.migLen)
+			mig = migRun{block: b, remaining: spec.MigBurst - 1}
+			ring[i] = Access{Block: lay.migBase + b}
+
+		case u < mix.pMig+mix.pScan:
+			// Collaborative scan: ScanReadsPerBlock consecutive scan
+			// references (across all threads) land on the same block before
+			// the shared cursor advances, so trailing reads — usually by a
+			// different thread — hit the leader's cache.
+			g.scanCount++
+			pos := (g.scanCount / uint64(spec.ScanReadsPerBlock)) % lay.scanLen
+			ring[i] = Access{Block: lay.scanBase + pos}
+
+		case u < mix.pMig+mix.pScan+mix.pShared:
+			// Shared-read region: cold coverage sweep (fast on the first
+			// lap, then a trickle) or the Zipf-hot set.
+			coldP := spec.SharedColdSteady
+			if g.sharedCold < lay.sharedLen {
+				coldP = spec.SharedColdWarm
+			}
+			if r.Bool(coldP) {
+				pos := g.sharedCold % lay.sharedLen
+				g.sharedCold++
+				ring[i] = Access{Block: lay.sharedBase + pos}
+			} else {
+				b := g.zipfShared.Sample(r)
+				ring[i] = Access{Block: lay.sharedBase + b, Write: r.Bool(mix.writeFracShared)}
+			}
+
+		default:
+			// Private partition: coverage sweep or the per-thread hot set.
+			sweepP := mix.sweepSteady
+			if privSweep < lay.privPerThread {
+				sweepP = spec.SweepWarm
+			}
+			if r.Bool(sweepP) {
+				ring[i] = Access{Block: base + privSweep%lay.privPerThread}
+				privSweep++
+			} else {
+				b := g.zipfPriv.Sample(r)
+				ring[i] = Access{Block: base + b, Write: r.Bool(mix.writeFrac)}
+			}
 		}
 	}
-	mix := &g.mix[t]
 
-	// An in-progress migratory episode takes priority: the burst must
-	// finish with its write for ownership to move.
-	if g.mig[t].remaining > 0 {
-		g.mig[t].remaining--
-		return Access{
-			Block: g.lay.migBase + g.mig[t].block,
-			Write: g.mig[t].remaining == 0,
-		}
-	}
-
-	u := r.Float64()
-	switch {
-	case u < mix.pMig:
-		// Start a migratory episode on a uniformly chosen block of the
-		// small migratory region; it was most likely last written by
-		// another thread, so the first touch is a dirty transfer.
-		b := r.Uint64n(g.lay.migLen)
-		g.mig[t] = migRun{block: b, remaining: g.spec.MigBurst - 1}
-		return Access{Block: g.lay.migBase + b}
-
-	case u < mix.pMig+mix.pScan:
-		// Collaborative scan: ScanReadsPerBlock consecutive scan
-		// references (across all threads) land on the same block before
-		// the shared cursor advances, so trailing reads — usually by a
-		// different thread — hit the leader's cache.
-		g.scanCount++
-		pos := (g.scanCount / uint64(g.spec.ScanReadsPerBlock)) % g.lay.scanLen
-		return Access{Block: g.lay.scanBase + pos}
-
-	case u < mix.pMig+mix.pScan+mix.pShared:
-		// Shared-read region: cold coverage sweep (fast on the first
-		// lap, then a trickle) or the Zipf-hot set.
-		coldP := g.spec.SharedColdSteady
-		if g.sharedCold < g.lay.sharedLen {
-			coldP = g.spec.SharedColdWarm
-		}
-		if r.Bool(coldP) {
-			pos := g.sharedCold % g.lay.sharedLen
-			g.sharedCold++
-			return Access{Block: g.lay.sharedBase + pos}
-		}
-		b := g.zipfShared.Sample(r)
-		return Access{Block: g.lay.sharedBase + b, Write: r.Bool(mix.writeFracShared)}
-
-	default:
-		// Private partition: coverage sweep or the per-thread hot set.
-		sweepP := mix.sweepSteady
-		if g.privSweep[t] < g.lay.privPerThread {
-			sweepP = g.spec.SweepWarm
-		}
-		base := uint64(t) * g.lay.privPerThread
-		if r.Bool(sweepP) {
-			pos := g.privSweep[t] % g.lay.privPerThread
-			g.privSweep[t]++
-			return Access{Block: base + pos}
-		}
-		b := g.zipfPriv.Sample(r)
-		return Access{Block: base + b, Write: r.Bool(mix.writeFrac)}
-	}
+	g.genRefs[t] = gen
+	g.mig[t] = mig
+	g.privSweep[t] = privSweep
 }
 
 // RegionOf classifies a block index produced by this generator.
@@ -237,14 +295,17 @@ func regionOf(l layout, block uint64) Region {
 	}
 }
 
-// Refs returns thread t's reference count so far.
-func (g *Generator) Refs(t int) uint64 { return g.refs[t] }
+// Refs returns thread t's consumed-reference count so far: everything
+// generated minus what still sits unconsumed in the thread's ring.
+func (g *Generator) Refs(t int) uint64 {
+	return g.genRefs[t] - uint64(genBatch-g.ringPos[t])
+}
 
-// TotalRefs returns the workload's total reference count.
+// TotalRefs returns the workload's total consumed-reference count.
 func (g *Generator) TotalRefs() uint64 {
 	var n uint64
-	for _, v := range g.refs {
-		n += v
+	for t := range g.genRefs {
+		n += g.Refs(t)
 	}
 	return n
 }

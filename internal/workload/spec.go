@@ -322,6 +322,36 @@ func (s Spec) RegionOf(block uint64, threads int) Region {
 	return regionOf(layoutFor(s, threads), block)
 }
 
+// Regions caches the spec's region boundaries for repeated O(1)
+// classification. RegionOf recomputes the whole footprint layout per
+// call, which is far too expensive for the simulator's per-miss
+// accounting; build a Regions once and call Of in the loop.
+type Regions struct {
+	sharedBase, migBase, scanBase uint64
+}
+
+// Regions returns the cached classifier for this spec under the given
+// thread count. Of(block) agrees with RegionOf(block, threads) for every
+// block.
+func (s Spec) Regions(threads int) Regions {
+	l := layoutFor(s, threads)
+	return Regions{sharedBase: l.sharedBase, migBase: l.migBase, scanBase: l.scanBase}
+}
+
+// Of classifies a footprint block index.
+func (r Regions) Of(block uint64) Region {
+	switch {
+	case block < r.sharedBase:
+		return RegionPrivate
+	case block < r.migBase:
+		return RegionShared
+	case block < r.scanBase:
+		return RegionMigratory
+	default:
+		return RegionScan
+	}
+}
+
 // RegionName names a region for reports.
 func RegionName(r Region) string {
 	switch r {

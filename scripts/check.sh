@@ -27,6 +27,11 @@ echo "== allocation budgets =="
 go test -run 'TestSteadyStateAllocBudget' ./internal/core
 go test -run 'TestDirectorySteadyStateAllocs' ./internal/coherence
 
+echo "== bench regression gate =="
+# Throughput-only bench run compared against the committed baseline:
+# fails on a >10% refs/sec regression or any allocs/ref growth.
+go run ./cmd/bench -figures "" -iters 2 -out - -baseline BENCH_consim.json >/dev/null
+
 echo "== observability smoke =="
 # A tiny observed run must produce a non-empty Chrome trace and a
 # manifest line alongside a clean exit.
