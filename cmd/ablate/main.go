@@ -25,7 +25,8 @@ func main() {
 		warm     = flag.Uint64("warm", 300_000, "warm-up references per core")
 		meas     = flag.Uint64("meas", 500_000, "measured references per core")
 		seed     = flag.Uint64("seed", 1, "random seed")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to keep in flight at once")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), consim.ParallelFlagUsage)
+		shards   = flag.Int("shards", 1, consim.ShardsFlagUsage)
 	)
 	var ocli obs.CLI
 	ocli.Register(flag.CommandLine)
@@ -44,9 +45,14 @@ func main() {
 	if *exp != "" {
 		ids = strings.Split(*exp, ",")
 	}
+	if err := consim.ValidateShards(*shards); err != nil {
+		ostop() //nolint:errcheck // the primary error wins
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
+	}
 	r := consim.NewRunner(consim.RunnerOptions{
 		Scale: *scale, WarmupRefs: *warm, MeasureRefs: *meas, Seed: *seed,
-		Parallel: *parallel, Obs: o,
+		Parallel: *parallel, Shards: *shards, Obs: o,
 	})
 	for _, id := range ids {
 		start := time.Now()

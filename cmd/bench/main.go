@@ -1,8 +1,8 @@
 // Command bench measures simulator throughput and allocation behaviour
-// and writes the numbers to a JSON report (BENCH_consim.json by
+// and appends the numbers to a JSON report history (BENCH_consim.json by
 // default), the artifact tracked for performance regressions.
 //
-// Two sections are measured:
+// Three sections are measured:
 //
 //   - throughput: repeated runs of the BenchmarkSimulatorThroughput
 //     configuration (the 4-VM consolidated machine at 1/16 scale),
@@ -10,8 +10,19 @@
 //     reference, and heap allocations per reference via
 //     runtime.ReadMemStats deltas around each run.
 //
+//   - shard scaling: the same configuration at each -shardsweep shard
+//     count, reporting wall time, speedup over the sequential engine and
+//     the spine's stall fraction, and checking the runs stay
+//     bit-identical along the way.
+//
 //   - figures: wall time per requested figure artifact through a
 //     Runner, exercising the deduplicated parallel sweep path.
+//
+// The report file holds a history: each invocation appends one
+// timestamped record (newest last) instead of overwriting, so the
+// committed file documents how throughput moved over time. A legacy
+// single-object file is absorbed as the first history entry. -baseline
+// gates against the newest committed record of either schema.
 //
 // Examples:
 //
@@ -27,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,8 +46,11 @@ import (
 	"consim/internal/obs"
 )
 
-// Report is the schema of BENCH_consim.json.
+// Report is one benchmark record; the report file is a JSON array of
+// them, newest last.
 type Report struct {
+	// Time stamps when the record was taken (RFC 3339, UTC).
+	Time string `json:"time,omitempty"`
 	// Host settings the numbers were taken under.
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
@@ -51,6 +66,12 @@ type Report struct {
 	BytesPerRef  float64 `json:"bytes_per_ref"`  // mean over iterations
 	AllocsPerRef float64 `json:"allocs_per_ref"` // mean over iterations
 
+	// ShardScaling measures the intra-run parallel engine (-shardsweep):
+	// the throughput configuration at each shard count, with speedup
+	// relative to the sweep's sequential point. Runs are checked
+	// bit-identical across shard counts before the numbers are recorded.
+	ShardScaling []ShardPoint `json:"shard_scaling,omitempty"`
+
 	// Figure suite wall times (seconds), at the benchmark scale.
 	FigureParallel int                `json:"figure_parallel,omitempty"`
 	FigureSeconds  map[string]float64 `json:"figure_seconds,omitempty"`
@@ -59,6 +80,22 @@ type Report struct {
 	// run — the memory the sweep actually held from the OS.
 	SweepWallSeconds float64 `json:"sweep_wall_seconds,omitempty"`
 	PeakRSSBytes     uint64  `json:"peak_rss_bytes"`
+}
+
+// ShardPoint is one shard count's measurement in the scaling sweep
+// (best wall time over the same iteration count as the throughput
+// section). StallFraction is the spine's wall time spent waiting on
+// worker batches — the sharded engine's barrier-stall analogue.
+type ShardPoint struct {
+	Shards        int     `json:"shards"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	RefsPerSec    float64 `json:"refs_per_sec"`
+	Speedup       float64 `json:"speedup"`
+	StallFraction float64 `json:"stall_fraction"`
+	Prefills      uint64  `json:"prefills,omitempty"`
+	SyncFills     uint64  `json:"sync_fills,omitempty"`
+	ThinkBatches  uint64  `json:"think_batches,omitempty"`
+	Stalls        uint64  `json:"stalls,omitempty"`
 }
 
 // peakSys returns the high-water mark of memory obtained from the OS.
@@ -78,7 +115,7 @@ func main() {
 	}
 }
 
-func benchCfg(scale int, warm, meas uint64) consim.Config {
+func benchCfg(scale int, warm, meas uint64, shards int) consim.Config {
 	specs := consim.WorkloadSpecs()
 	cfg := consim.DefaultConfig(
 		specs[consim.TPCW], specs[consim.SPECjbb],
@@ -88,6 +125,7 @@ func benchCfg(scale int, warm, meas uint64) consim.Config {
 	cfg.GroupSize = 4
 	cfg.WarmupRefs = warm
 	cfg.MeasureRefs = meas
+	cfg.Shards = shards
 	return cfg
 }
 
@@ -97,10 +135,12 @@ func run() (err error) {
 		warm     = flag.Uint64("warm", 10_000, "warm-up references per core")
 		meas     = flag.Uint64("meas", 50_000, "measured references per core")
 		iters    = flag.Int("iters", 3, "throughput iterations (best wall time wins)")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations in flight for the figure suite")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), consim.ParallelFlagUsage)
+		shards   = flag.Int("shards", 1, consim.ShardsFlagUsage)
+		sweep    = flag.String("shardsweep", "", "comma-separated shard counts for the scaling section, e.g. 1,2,4,8 (empty = skip)")
 		figures  = flag.String("figures", "T2,F2,F12", "comma-separated figure IDs to time (empty = skip)")
-		out      = flag.String("out", "BENCH_consim.json", "report path (- = stdout)")
-		baseline = flag.String("baseline", "", "committed report to gate against; exit non-zero on >10% refs_per_sec regression or any allocs_per_ref growth")
+		out      = flag.String("out", "BENCH_consim.json", "report history path; each run appends a record (- = print this run to stdout)")
+		baseline = flag.String("baseline", "", "committed report to gate against (newest record); exit non-zero on >10% refs_per_sec regression or any allocs_per_ref growth")
 	)
 	var ocli obs.CLI
 	ocli.Register(flag.CommandLine)
@@ -118,8 +158,27 @@ func run() (err error) {
 	if o != nil {
 		o.Parallel = *parallel
 	}
+	if err := consim.ValidateShards(*shards); err != nil {
+		return err
+	}
+
+	// Resolve the baseline before any writing: gating against the file
+	// this run appends to must compare with the last committed record,
+	// not the one being taken now.
+	var base *Report
+	if *baseline != "" {
+		hist, err := readReports(*baseline)
+		if err != nil {
+			return err
+		}
+		if len(hist) == 0 {
+			return fmt.Errorf("%s: empty report history", *baseline)
+		}
+		base = &hist[len(hist)-1]
+	}
 
 	rep := Report{
+		Time:        time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Scale:       *scale,
@@ -131,7 +190,7 @@ func run() (err error) {
 	// Throughput: same configuration as BenchmarkSimulatorThroughput.
 	// One untimed run warms the process, then each timed iteration is
 	// bracketed by ReadMemStats so bytes/allocs cover exactly the runs.
-	if _, err := consim.Run(benchCfg(*scale, *warm, *meas)); err != nil {
+	if _, err := consim.Run(benchCfg(*scale, *warm, *meas, *shards)); err != nil {
 		return err
 	}
 	var bytesSum, allocsSum float64
@@ -140,7 +199,7 @@ func run() (err error) {
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		res, err := consim.Run(benchCfg(*scale, *warm, *meas))
+		res, err := consim.Run(benchCfg(*scale, *warm, *meas, *shards))
 		wall := time.Since(start).Seconds()
 		if err != nil {
 			return err
@@ -166,13 +225,20 @@ func run() (err error) {
 	rep.AllocsPerRef = allocsSum / perRef
 	rep.PeakRSSBytes = peakSys(rep.PeakRSSBytes)
 
+	if s := strings.TrimSpace(*sweep); s != "" {
+		if rep.ShardScaling, err = shardScaling(s, *scale, *warm, *meas, *iters); err != nil {
+			return err
+		}
+		rep.PeakRSSBytes = peakSys(rep.PeakRSSBytes)
+	}
+
 	// Figure suite timings through the single-flight parallel runner.
 	if ids := strings.TrimSpace(*figures); ids != "" {
 		rep.FigureParallel = *parallel
 		rep.FigureSeconds = make(map[string]float64)
 		r := consim.NewRunner(consim.RunnerOptions{
 			Scale: *scale, WarmupRefs: *warm, MeasureRefs: *meas,
-			Parallel: *parallel, Obs: o,
+			Parallel: *parallel, Shards: *shards, Obs: o,
 		})
 		sweepStart := time.Now()
 		for _, id := range strings.Split(ids, ",") {
@@ -188,42 +254,137 @@ func run() (err error) {
 		rep.SweepWallSeconds = time.Since(sweepStart).Seconds()
 	}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
 	if *out == "-" {
-		if _, err = os.Stdout.Write(buf); err != nil {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if _, err = os.Stdout.Write(append(buf, '\n')); err != nil {
 			return err
 		}
 	} else {
-		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		n, err := appendReport(*out, rep)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "[wrote %s: %.0f refs/sec, %.4f allocs/ref]\n",
-			*out, rep.RefsPerSec, rep.AllocsPerRef)
+		fmt.Fprintf(os.Stderr, "[appended to %s (%d records): %.0f refs/sec, %.4f allocs/ref]\n",
+			*out, n, rep.RefsPerSec, rep.AllocsPerRef)
 	}
-	if *baseline != "" {
-		return gate(rep, *baseline)
+	if base != nil {
+		return gate(rep, *base, *baseline)
 	}
 	return nil
 }
 
-// gate compares a fresh report against the committed baseline and
-// returns an error (non-zero exit) on a throughput regression beyond
-// 10% — outside normal machine noise — or on any growth at all in
-// allocations per reference, which are deterministic and must only
-// ever go down.
-func gate(rep Report, path string) error {
+// shardScaling runs the throughput configuration once per requested
+// shard count (best of iters wall times each) and cross-checks that
+// every run produced identical simulated results — the engine's core
+// contract. Speedup is relative to the sweep's shards=1 point, or its
+// first point when 1 is not swept.
+func shardScaling(list string, scale int, warm, meas uint64, iters int) ([]ShardPoint, error) {
+	var points []ShardPoint
+	var refCycles uint64
+	var refVMs string
+	baseWall := 0.0
+	for _, part := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -shardsweep entry %q", part)
+		}
+		if err := consim.ValidateShards(n); err != nil {
+			return nil, err
+		}
+		var best consim.Result
+		bestWall := 0.0
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			res, err := consim.Run(benchCfg(scale, warm, meas, n))
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return nil, err
+			}
+			if bestWall == 0 || wall < bestWall {
+				bestWall, best = wall, res
+			}
+		}
+		vms, err := json.Marshal(best.VMs)
+		if err != nil {
+			return nil, err
+		}
+		if refVMs == "" {
+			refCycles, refVMs = uint64(best.Cycles), string(vms)
+		} else if uint64(best.Cycles) != refCycles || string(vms) != refVMs {
+			return nil, fmt.Errorf("shards=%d diverged from the sweep's first point: results must be bit-identical", n)
+		}
+		var refs uint64
+		for _, v := range best.VMs {
+			refs += v.Stats.Refs
+		}
+		if baseWall == 0 {
+			baseWall = bestWall
+		}
+		p := ShardPoint{
+			Shards:        n,
+			WallSeconds:   bestWall,
+			RefsPerSec:    float64(refs) / bestWall,
+			Speedup:       baseWall / bestWall,
+			StallFraction: best.Shard.StallSeconds / bestWall,
+			Prefills:      best.Shard.Prefills,
+			SyncFills:     best.Shard.SyncFills,
+			ThinkBatches:  best.Shard.ThinkBatches,
+			Stalls:        best.Shard.Stalls,
+		}
+		points = append(points, p)
+		fmt.Fprintf(os.Stderr, "[shards %d: %.3fs, %.2fx, stall %.1f%%]\n",
+			n, p.WallSeconds, p.Speedup, 100*p.StallFraction)
+	}
+	return points, nil
+}
+
+// readReports loads a report history, absorbing the legacy single-object
+// schema as a one-record history.
+func readReports(path string) ([]Report, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	var base Report
-	if err := json.Unmarshal(buf, &base); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+	var hist []Report
+	if err := json.Unmarshal(buf, &hist); err == nil {
+		return hist, nil
 	}
+	var one Report
+	if err := json.Unmarshal(buf, &one); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return []Report{one}, nil
+}
+
+// appendReport adds rep to the history at path (creating it, or
+// converting a legacy single-object file) and returns the new record
+// count.
+func appendReport(path string, rep Report) (int, error) {
+	hist, err := readReports(path)
+	if err != nil && !os.IsNotExist(err) {
+		return 0, err
+	}
+	hist = append(hist, rep)
+	buf, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return 0, err
+	}
+	return len(hist), nil
+}
+
+// gate compares a fresh report against the committed baseline (the
+// newest record in the -baseline history, resolved before this run
+// appended anything) and returns an error (non-zero exit) on a
+// throughput regression beyond 10% — outside normal machine noise — or
+// on any growth at all in allocations per reference, which are
+// deterministic and must only ever go down.
+func gate(rep, base Report, path string) error {
 	if base.RefsPerSec > 0 && rep.RefsPerSec < base.RefsPerSec*0.9 {
 		return fmt.Errorf("refs_per_sec regressed more than 10%%: %.0f vs baseline %.0f (%s)",
 			rep.RefsPerSec, base.RefsPerSec, path)

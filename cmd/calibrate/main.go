@@ -23,7 +23,8 @@ func main() {
 	meas := flag.Uint64("meas", 1_000_000, "measured references per core")
 	only := flag.String("only", "", "run a single workload by name")
 	gradient := flag.Bool("gradient", false, "also print the capacity gradient (miss rate and runtime at shared/shared-4/private)")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to keep in flight at once")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), consim.ParallelFlagUsage)
+	shards := flag.Int("shards", 1, consim.ShardsFlagUsage)
 	var ocli obs.CLI
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
@@ -34,6 +35,11 @@ func main() {
 		os.Exit(1)
 	}
 	defer ostop() //nolint:errcheck // diagnostics-only sinks
+
+	if err := consim.ValidateShards(*shards); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	gradientSizes := []int{16, 4, 1}
 
@@ -48,6 +54,7 @@ func main() {
 		cfg.Scale = *scale
 		cfg.WarmupRefs = *warm
 		cfg.MeasureRefs = *meas
+		cfg.Shards = *shards
 		return cfg
 	}
 	for _, spec := range workload.Specs() {

@@ -1,7 +1,9 @@
 // Command consim runs one consolidation simulation from flags and prints
 // per-VM metrics. -group accepts a comma-separated list of group sizes;
 // with more than one, the sweep's simulations run concurrently (bounded
-// by -parallel) and the reports print in list order.
+// by -parallel) and the reports print in list order. -shards parallelizes
+// each simulation internally with bit-identical results — use it for a
+// single long run, and -parallel when sweeping many.
 //
 // Examples:
 //
@@ -9,6 +11,7 @@
 //	consim -workloads TPC-H -group 1 -scale 4
 //	consim -workloads TPC-W,TPC-W,SPECjbb,SPECjbb -policy rr
 //	consim -mix 8 -group 1,4,16 -parallel 3
+//	consim -mix 5 -shards 4
 package main
 
 import (
@@ -149,7 +152,8 @@ func run() (err error) {
 		snapshot  = flag.Bool("snapshot", false, "print the replication/occupancy snapshot")
 		asJSON    = flag.Bool("json", false, "emit the full result as JSON (an array when sweeping groups)")
 		regions   = flag.Bool("regions", false, "break each VM's LLC misses down by footprint region")
-		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to keep in flight when sweeping -group")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), consim.ParallelFlagUsage)
+		shards    = flag.Int("shards", 1, consim.ShardsFlagUsage)
 	)
 	var ocli obs.CLI
 	ocli.Register(flag.CommandLine)
@@ -193,6 +197,9 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
+	if err := consim.ValidateShards(*shards); err != nil {
+		return err
+	}
 
 	cfgs := make([]consim.Config, len(groups))
 	for i, gs := range groups {
@@ -203,6 +210,7 @@ func run() (err error) {
 		cfg.Seed = *seed
 		cfg.WarmupRefs = *warm
 		cfg.MeasureRefs = *meas
+		cfg.Shards = *shards
 		cfgs[i] = cfg
 	}
 

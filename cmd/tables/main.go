@@ -39,7 +39,8 @@ func run() (err error) {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		warm     = flag.Uint64("warm", 600_000, "warm-up references per core")
 		meas     = flag.Uint64("meas", 1_000_000, "measured references per core")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to keep in flight at once")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), consim.ParallelFlagUsage)
+		shards   = flag.Int("shards", 1, consim.ShardsFlagUsage)
 		format   = flag.String("format", "text", "output format: text, md, csv, bars")
 	)
 	var ocli obs.CLI
@@ -67,12 +68,16 @@ func run() (err error) {
 		}
 	}
 
+	if err := consim.ValidateShards(*shards); err != nil {
+		return err
+	}
 	r := consim.NewRunner(consim.RunnerOptions{
 		Scale:       *scale,
 		Seed:        *seed,
 		WarmupRefs:  *warm,
 		MeasureRefs: *meas,
 		Parallel:    *parallel,
+		Shards:      *shards,
 		Obs:         o,
 	})
 

@@ -115,8 +115,12 @@ func replay(args []string) error {
 	policy := fs.String("policy", "affinity", "scheduling policy")
 	warm := fs.Uint64("warm", 50_000, "warm-up references per core")
 	meas := fs.Uint64("meas", 100_000, "measured references per core")
+	shards := fs.Int("shards", 1, consim.ShardsFlagUsage)
 	fs.Parse(args[1:])
 
+	if err := consim.ValidateShards(*shards); err != nil {
+		return err
+	}
 	rd, err := openTrace(args[0])
 	if err != nil {
 		return err
@@ -131,6 +135,7 @@ func replay(args []string) error {
 	cfg.ThreadsPerVM = rd.Header().Threads
 	cfg.WarmupRefs = *warm
 	cfg.MeasureRefs = *meas
+	cfg.Shards = *shards
 	cfg.Sources = []workload.Source{rd}
 
 	res, err := consim.Run(cfg)

@@ -30,6 +30,7 @@ import (
 	"consim/internal/core"
 	"consim/internal/harness"
 	"consim/internal/sched"
+	"consim/internal/sim"
 	"consim/internal/workload"
 )
 
@@ -45,7 +46,26 @@ type (
 	VMResult = core.VMResult
 	// Snapshot captures LLC replication and occupancy state.
 	Snapshot = core.Snapshot
+	// ShardStats reports the intra-run parallel engine's activity
+	// (Result.Shard); all-zero for sequential runs.
+	ShardStats = core.ShardStats
 )
+
+// Canonical CLI help strings for the two parallelism knobs, shared by
+// every command so the flags read identically across the toolset.
+// -parallel spreads independent simulations across CPUs; -shards splits
+// one simulation across worker lanes. Neither ever changes results.
+const (
+	ParallelFlagUsage = "independent simulations to keep in flight at once (across-run parallelism; never changes results)"
+	ShardsFlagUsage   = "worker lanes inside each simulation: 1 = sequential engine, or 2/4/8/16 evenly dividing the core count; results are bit-identical at any value"
+)
+
+// ValidateShards checks a -shards value against the default 16-core
+// machine, returning a descriptive error for CLI use. Config.Validate
+// performs the same check against the configured core count.
+func ValidateShards(shards int) error {
+	return sim.ValidateShards(shards, core.DefaultCores)
+}
 
 // Workload modeling types.
 type (

@@ -129,6 +129,15 @@ type Config struct {
 	// scaling (default Table III 16MB).
 	LLCBytes int
 
+	// Shards selects intra-run parallelism: 1 (or 0, the default) runs
+	// the sequential engine; N > 1 adds N-1 worker goroutines that
+	// pre-compute workload reference batches and think-time draws for
+	// the timing spine. Results are bit-identical at every shard count —
+	// the workers only move functional work off the critical path; all
+	// timing-visible state advances on the spine in event order. Must be
+	// one of sim.ValidShardCounts and divide Cores.
+	Shards int
+
 	// Obs attaches the observability hooks (metric shard, tracer lane,
 	// progress) the run publishes through; nil runs unobserved. The
 	// hot-path publish cadence keeps the steady-state loop
@@ -213,6 +222,13 @@ func (c Config) Validate() error {
 	}
 	if c.Scale <= 0 {
 		return fmt.Errorf("core: non-positive scale %d", c.Scale)
+	}
+	if c.Shards > 1 {
+		if err := sim.ValidateShards(c.Shards, c.Cores); err != nil {
+			return err
+		}
+	} else if c.Shards < 0 {
+		return fmt.Errorf("core: negative shard count %d", c.Shards)
 	}
 	if c.MeasureRefs == 0 {
 		return fmt.Errorf("core: zero measurement budget")

@@ -104,6 +104,11 @@ type Result struct {
 	// replicates when merged); provenance for run manifests, not a
 	// simulated quantity.
 	WallSeconds float64
+
+	// Shard reports the intra-run parallel engine's activity; zero for
+	// the sequential engine. Host-side provenance like WallSeconds — the
+	// shard count never changes simulated results.
+	Shard ShardStats
 }
 
 // ManifestFor stamps a run manifest from a finished result: what was
@@ -139,6 +144,13 @@ func ManifestFor(cfg Config, res Result, parallel int) obs.Manifest {
 		Cycles:       uint64(res.Cycles),
 		WallSeconds:  res.WallSeconds,
 		Parallel:     parallel,
+
+		Shards:            res.Shard.Shards,
+		ShardPrefills:     res.Shard.Prefills,
+		ShardSyncFills:    res.Shard.SyncFills,
+		ShardThinkBatches: res.Shard.ThinkBatches,
+		ShardStalls:       res.Shard.Stalls,
+		ShardStallSeconds: res.Shard.StallSeconds,
 	}
 }
 

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"consim/internal/sched"
+	"consim/internal/sim"
+	"consim/internal/workload"
+)
+
+// shardDigest is the comparison projection for sequential-vs-sharded
+// differential runs: the golden digest plus the snapshot timing fields
+// the golden projection folds in separately.
+func shardDigest(t *testing.T, res Result) string {
+	t.Helper()
+	d := digestOf(res)
+	buf, err := json.MarshalIndent(d, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestShardedBitIdentical is the engine's acceptance test: randomized
+// configurations — every LLC organization, both policies, phased and
+// unphased workloads, snapshots mid-run — must produce byte-identical
+// digests at every legal shard count.
+func TestShardedBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by the full suite")
+	}
+	type tc struct {
+		name string
+		cfg  Config
+	}
+	var cases []tc
+
+	r := sim.NewRNG(0xc0ffee)
+	groupSizes := []int{1, 4, 16}
+	policies := []sched.Policy{sched.RoundRobin, sched.Affinity}
+	classes := [][]workload.Class{
+		{workload.TPCW, workload.SPECjbb, workload.TPCH, workload.SPECweb},
+		{workload.SPECjbb, workload.SPECjbb, workload.SPECjbb, workload.SPECjbb},
+		{workload.TPCH, workload.SPECweb},
+	}
+	for i := 0; i < 4; i++ {
+		cfg := fastCfg(groupSizes[r.Intn(len(groupSizes))], policies[r.Intn(2)], classes[r.Intn(len(classes))]...)
+		cfg.Seed = r.Uint64()
+		cfg.WarmupRefs = 10_000 + r.Uint64n(20_000)
+		cfg.MeasureRefs = 30_000 + r.Uint64n(30_000)
+		if r.Bool(0.5) {
+			cfg.SnapshotRefs = cfg.MeasureRefs / 2
+		}
+		if r.Bool(0.3) {
+			cfg.QoSPartition = true
+		}
+		cases = append(cases, tc{name: "rand" + string(rune('A'+i)), cfg: cfg})
+	}
+
+	// Directed cases for the gated paths: over-commitment (think
+	// batching disabled per core) and dynamic rebalancing (disabled
+	// everywhere, prefill still active).
+	over := fastCfg(4, sched.Affinity, workload.TPCW, workload.SPECjbb, workload.TPCH, workload.SPECweb)
+	over.ThreadsPerVM = 8
+	over.TimesliceCycles = 5_000
+	over.WarmupRefs, over.MeasureRefs = 10_000, 20_000
+	cases = append(cases, tc{name: "overcommit", cfg: over})
+
+	reb := fastCfg(4, sched.RoundRobin, workload.TPCW, workload.SPECjbb, workload.TPCH, workload.SPECweb)
+	reb.RebalanceCycles = 200_000
+	reb.WarmupRefs, reb.MeasureRefs = 10_000, 20_000
+	cases = append(cases, tc{name: "rebalance", cfg: reb})
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			seq := c.cfg
+			seq.Shards = 1
+			want := shardDigest(t, mustRun(t, seq))
+			for _, shards := range []int{2, 4, 8, 16} {
+				sh := c.cfg
+				sh.Shards = shards
+				got := shardDigest(t, mustRun(t, sh))
+				if got != want {
+					t.Fatalf("shards=%d diverged from sequential:\n%s\nvs sequential:\n%s", shards, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedStatsAccounted checks that the sharded engine actually ran
+// its pipelines on a plain steady-state config: batches adopted from
+// workers, and the sequential path reporting a zero value.
+func TestShardedStatsAccounted(t *testing.T) {
+	cfg := fastCfg(4, sched.Affinity, workload.TPCW, workload.SPECjbb, workload.TPCH, workload.SPECweb)
+	cfg.WarmupRefs, cfg.MeasureRefs = 30_000, 60_000
+	cfg.Shards = 4
+
+	res := mustRun(t, cfg)
+	st := res.Shard
+	if st.Shards != 4 || st.Workers != 3 {
+		t.Fatalf("Shard = %+v, want Shards=4 Workers=3", st)
+	}
+	if st.Prefills == 0 {
+		t.Error("no prefilled reference batches were adopted")
+	}
+	if st.SyncFills == 0 {
+		t.Error("no inline fills recorded (warm-up should use the spine)")
+	}
+	if st.ThinkBatches == 0 {
+		t.Error("no think batches were adopted")
+	}
+
+	cfg.Shards = 1
+	if st := mustRun(t, cfg).Shard; st != (ShardStats{}) {
+		t.Errorf("sequential run reported shard stats: %+v", st)
+	}
+}
+
+// TestShardsRejected checks config validation of the shard universe.
+func TestShardsRejected(t *testing.T) {
+	cfg := fastCfg(4, sched.Affinity, workload.TPCW)
+	for _, bad := range []int{-1, 3, 5, 32} {
+		cfg.Shards = bad
+		if _, err := NewSystem(cfg); err == nil {
+			t.Errorf("Shards=%d accepted, want error", bad)
+		}
+	}
+	cfg.Shards = 2
+	cfg.Cores = 15
+	cfg.GroupSize = 5
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("Shards=2 with 15 cores accepted, want error")
+	}
+}

@@ -94,6 +94,11 @@ type System struct {
 	// shards stay monotone. All publish work is allocation-free.
 	hooks   *obs.RunHooks
 	lastPub pubTotals
+
+	// shard is the intra-run parallel engine (cfg.Shards > 1); nil runs
+	// the sequential loop. See shard.go for why the workers carry only
+	// functional work and results stay bit-identical.
+	shard *shardEngine
 }
 
 // pubTotals snapshots the per-VM counter sums at the last live publish.
@@ -211,6 +216,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.RebalanceCycles > 0 {
 		s.nextRebalance = cfg.RebalanceCycles
 		s.rebalanceSeed = cfg.Seed ^ 0xd15c
+	}
+	if cfg.Shards > 1 {
+		s.shard = newShardEngine(s)
 	}
 	return s, nil
 }
@@ -376,6 +384,14 @@ func (s *System) Run() (Result, error) {
 		lane = h.RunStart(s.cfg.Label())
 		defer h.RunEnd(lane)
 	}
+	if s.shard != nil {
+		if h != nil {
+			s.shard.attachTracer(h.Tr)
+			h.SetShards(s.shard.stats.Shards, s.shard.stats.Workers)
+		}
+		s.shard.start(s)
+		defer s.shard.stop()
+	}
 	// Seed the event queue with every active core.
 	for c := range s.cores {
 		if s.cores[c].active {
@@ -445,6 +461,7 @@ func (s *System) Run() (Result, error) {
 		WallSeconds:     s.simSeconds,
 		Config:          s.cfg,
 		Cycles:          window,
+		Shard:           s.shardStats(),
 		Snapshot:        snap,
 		NetAvgWait:      s.net.AvgWait(),
 		NetAvgHops:      s.net.AvgHops(),
@@ -485,9 +502,41 @@ func (s *System) runUntil(target uint64) {
 	s.simSeconds += time.Since(start).Seconds()
 }
 
+// refSource abstracts where the event loop gets its two per-event
+// functional inputs: the next workload reference and the think-time
+// draw. liveSource computes them inline (the sequential engine);
+// shardSource (shard.go) serves them from worker-prepared batches. The
+// type parameter on runLoopSrc monomorphizes both, so the sequential
+// loop compiles to exactly the code it was before the split.
+type refSource interface {
+	next(s *System, run runnable) workload.Access
+	think(s *System, c, vmID int) uint64
+}
+
+// liveSource computes references and think times inline.
+type liveSource struct{}
+
+func (liveSource) next(s *System, run runnable) workload.Access {
+	return s.vms[run.vmID].Gen.Next(run.thread)
+}
+
+func (liveSource) think(s *System, c, vmID int) uint64 {
+	return s.cores[c].rng.Uint64n(s.thinkOf[vmID])
+}
+
 // runLoop is runUntil's event loop, separated so the wall-clock
 // accounting wraps exactly the simulation work.
 func (s *System) runLoop(target uint64) {
+	if s.shard != nil {
+		runLoopSrc(s, target, shardSource{s.shard})
+		return
+	}
+	runLoopSrc(s, target, liveSource{})
+}
+
+// runLoopSrc is the engine-agnostic event loop; src supplies the
+// functional plane, everything timing-visible happens here in pop order.
+func runLoopSrc[S refSource](s *System, target uint64, src S) {
 	dynamic := s.cfg.RebalanceCycles > 0
 	remaining := 0
 	for c := range s.cores {
@@ -521,7 +570,7 @@ func (s *System) runLoop(target uint64) {
 		run := cs.queue[cs.cur]
 		m := s.vms[run.vmID]
 
-		acc := m.Gen.Next(run.thread)
+		acc := src.next(s, run)
 		m.Touch(acc.Block)
 		addr := m.AddrOf(acc.Block)
 		missesBefore := m.Stats.LLCMisses
@@ -545,7 +594,7 @@ func (s *System) runLoop(target uint64) {
 		if cs.refs == target {
 			remaining--
 		}
-		next := s.now + lat + sim.Cycle(cs.rng.Uint64n(s.thinkOf[run.vmID]))
+		next := s.now + lat + sim.Cycle(src.think(s, c, run.vmID))
 		// Over-commit: rotate the runnable at timeslice expiry, paying
 		// the hypervisor switch cost.
 		if len(cs.queue) > 1 && next >= cs.sliceEnd {
@@ -623,6 +672,18 @@ func (s *System) publishLive() {
 	h.SetDirectory(uint64(s.dir.Len()), s.dirCache.Hits, s.dirCache.Misses)
 	h.SetMemory(s.mem.Reads, s.mem.Writebacks, uint64(s.mem.WaitSum), s.mem.QueueDepth(s.now))
 	h.SetEventQueue(s.q.Len())
+	if e := s.shard; e != nil {
+		h.SetShardProgress(e.stats.Prefills, e.stats.SyncFills, e.stats.ThinkBatches, e.stats.Stalls)
+	}
+}
+
+// shardStats returns the sharded engine's run accounting (zero value
+// for the sequential engine).
+func (s *System) shardStats() ShardStats {
+	if s.shard == nil {
+		return ShardStats{}
+	}
+	return s.shard.stats
 }
 
 // switchCost returns the configured context-switch penalty.

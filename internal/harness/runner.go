@@ -32,6 +32,12 @@ type Options struct {
 	// parallelism changes wall time only, never results. 0 (the default)
 	// means runtime.GOMAXPROCS(0); 1 forces fully serial execution.
 	Parallel int
+	// Shards enables the intra-run parallel engine inside every
+	// simulation the runner executes (core.Config.Shards): 0/1 keep the
+	// sequential engine, N>1 adds N-1 worker lanes per run. Results are
+	// bit-identical at any shard count. Configs that already set their
+	// own Shards keep it.
+	Shards int
 	// Replicates runs each configuration this many times with perturbed
 	// seeds and reports merged metrics, per the Alameldeen-Wood
 	// statistical simulation methodology the paper's §V adopts (0/1 =
@@ -222,8 +228,13 @@ func (r *Runner) execute(cfg core.Config) (core.Result, error) {
 	return merged, nil
 }
 
-// simulate builds and runs one system, counting the execution.
+// simulate builds and runs one system, counting the execution. Every
+// execution path (memoized runs, replicates, raw config batches) funnels
+// through here, so this is where the runner-wide shard setting applies.
 func (r *Runner) simulate(cfg core.Config) (core.Result, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = r.opt.Shards
+	}
 	r.sims.Add(1)
 	r.opt.Obs.CountSim()
 	sys, err := core.NewSystem(cfg)

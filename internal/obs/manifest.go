@@ -42,6 +42,17 @@ type Manifest struct {
 	// one job, and is recorded for throughput accounting.
 	CPUSeconds float64 `json:"cpu_seconds"`
 	Parallel   int     `json:"parallel,omitempty"`
+
+	// Intra-run parallelism provenance: the configured shard count, plus
+	// how the run's functional plane split between worker-prepared and
+	// inline batches and what the spine spent waiting (the barrier-stall
+	// analogue). Absent for sequential runs.
+	Shards            int     `json:"shards,omitempty"`
+	ShardPrefills     uint64  `json:"shard_prefills,omitempty"`
+	ShardSyncFills    uint64  `json:"shard_sync_fills,omitempty"`
+	ShardThinkBatches uint64  `json:"shard_think_batches,omitempty"`
+	ShardStalls       uint64  `json:"shard_stalls,omitempty"`
+	ShardStallSeconds float64 `json:"shard_stall_seconds,omitempty"`
 }
 
 // ManifestWriter appends manifest lines to a JSONL file. Safe for

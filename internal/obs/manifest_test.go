@@ -25,6 +25,8 @@ func TestManifestRoundTrip(t *testing.T) {
 			WarmupRefs: 1000, MeasureRefs: 2000, SnapshotRefs: 500,
 			Replicates: 3, Refs: 96000, Cycles: 654321, WallSeconds: 1.5,
 			Parallel: 4,
+			Shards:   4, ShardPrefills: 1200, ShardSyncFills: 31,
+			ShardThinkBatches: 900, ShardStalls: 17, ShardStallSeconds: 0.004,
 		},
 	}
 	for _, m := range in {

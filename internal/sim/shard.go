@@ -1,0 +1,63 @@
+package sim
+
+import "fmt"
+
+// ShardPlan describes how a single run's functional work is partitioned
+// across worker lanes. Shards counts execution lanes including the
+// timing spine (lane 0): -shards=1 is the sequential engine, -shards=N
+// adds N-1 worker goroutines that pre-compute reference batches and
+// think-time draws for the cores and workload threads assigned to them.
+//
+// The partition is static and index-based so the assignment — and hence
+// every trace lane and gauge — is a pure function of the configuration,
+// independent of scheduling.
+type ShardPlan struct {
+	Shards int // execution lanes, including the spine
+	Cores  int // cores in the machine
+}
+
+// ValidShardCounts is the accepted -shards universe. Powers of two up to
+// 16 keep the core partition group-aligned for every paper configuration
+// (1/2/4/8/16-core groups on a 16-core machine).
+var ValidShardCounts = [...]int{1, 2, 4, 8, 16}
+
+// ValidateShards checks a -shards flag value against the core count:
+// shards must be one of ValidShardCounts and must divide cores evenly so
+// every lane owns the same number of cores.
+func ValidateShards(shards, cores int) error {
+	ok := false
+	for _, v := range ValidShardCounts {
+		if shards == v {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("sim: invalid shard count %d (must be one of %v)", shards, ValidShardCounts)
+	}
+	if cores%shards != 0 {
+		return fmt.Errorf("sim: shard count %d does not divide core count %d", shards, cores)
+	}
+	return nil
+}
+
+// NewShardPlan validates and builds a plan. It panics on an invalid
+// combination; CLI layers call ValidateShards first for a friendly error.
+func NewShardPlan(shards, cores int) ShardPlan {
+	if err := ValidateShards(shards, cores); err != nil {
+		panic(err)
+	}
+	return ShardPlan{Shards: shards, Cores: cores}
+}
+
+// Workers is the number of worker goroutines the plan spawns (lanes
+// beyond the spine).
+func (p ShardPlan) Workers() int { return p.Shards - 1 }
+
+// WorkerOf maps a core to its owning worker lane in [0, Workers()).
+// Cores are dealt in contiguous equal runs so a lane's cores share
+// consolidation groups whenever the group size divides the run length.
+// Only meaningful when Workers() > 0.
+func (p ShardPlan) WorkerOf(core int) int {
+	return core * p.Workers() / p.Cores
+}

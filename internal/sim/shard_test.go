@@ -1,0 +1,47 @@
+package sim
+
+import "testing"
+
+func TestValidateShards(t *testing.T) {
+	for _, c := range []struct {
+		shards, cores int
+		ok            bool
+	}{
+		{1, 16, true}, {2, 16, true}, {4, 16, true}, {8, 16, true}, {16, 16, true},
+		{3, 16, false}, {0, 16, false}, {-1, 16, false}, {32, 16, false},
+		{8, 4, false}, // does not divide
+		{4, 4, true}, {2, 2, true}, {16, 32, true},
+	} {
+		err := ValidateShards(c.shards, c.cores)
+		if (err == nil) != c.ok {
+			t.Errorf("ValidateShards(%d, %d) = %v, want ok=%v", c.shards, c.cores, err, c.ok)
+		}
+	}
+}
+
+func TestShardPlanWorkerOf(t *testing.T) {
+	for _, shards := range []int{2, 4, 8, 16} {
+		p := NewShardPlan(shards, 16)
+		counts := make([]int, p.Workers())
+		last := 0
+		for c := 0; c < 16; c++ {
+			w := p.WorkerOf(c)
+			if w < 0 || w >= p.Workers() {
+				t.Fatalf("shards=%d core %d: worker %d out of range", shards, c, w)
+			}
+			if w < last {
+				t.Fatalf("shards=%d: WorkerOf not monotone at core %d", shards, c)
+			}
+			last = w
+			counts[w]++
+		}
+		for w, n := range counts {
+			if n == 0 {
+				t.Errorf("shards=%d: worker %d owns no cores", shards, w)
+			}
+			if max, min := 16/p.Workers()+1, 16/p.Workers(); n > max || n < min {
+				t.Errorf("shards=%d: worker %d owns %d cores, want %d..%d", shards, w, n, min, max)
+			}
+		}
+	}
+}

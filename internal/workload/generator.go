@@ -184,29 +184,107 @@ func (g *Generator) refill(t int) Access {
 	return g.ring[t][0]
 }
 
+// threadGenState bundles every per-thread mutable the sampler walks, so
+// one batch can be computed either in place (the synchronous refill) or
+// against a snapshot on another goroutine (the sharded engine's prefill)
+// from the exact same code path.
+type threadGenState struct {
+	rng       sim.RNG
+	mig       migRun
+	privSweep uint64
+	genRefs   uint64
+	phaseIdx  int
+	mix       phaseMix
+}
+
+// loadThread / storeThread move thread t's sampler state between the
+// Generator arrays and a detached snapshot.
+func (g *Generator) loadThread(t int, st *threadGenState) {
+	st.rng = g.rngs[t]
+	st.mig = g.mig[t]
+	st.privSweep = g.privSweep[t]
+	st.genRefs = g.genRefs[t]
+	st.phaseIdx = g.phaseIdx[t]
+	st.mix = g.mix[t]
+}
+
+func (g *Generator) storeThread(t int, st *threadGenState) {
+	g.rngs[t] = st.rng
+	g.mig[t] = st.mig
+	g.privSweep[t] = st.privSweep
+	g.genRefs[t] = st.genRefs
+	g.phaseIdx[t] = st.phaseIdx
+	g.mix[t] = st.mix
+}
+
+// cursors abstracts the two generator-shared sampling cursors (the
+// collaborative scan and the shared-region cold sweep) out of the batch
+// loop. liveCursors advances them in place; deferredCursors (prefetch.go)
+// records placeholder positions to be patched when the batch is adopted
+// in stream order. The type parameter keeps both instantiations fully
+// inlined — the synchronous path compiles to the same loop it was before
+// the split.
+type cursors interface {
+	// scan / cold return the Access for ring entry i; i lets a deferred
+	// sink remember which entries to patch and is ignored live.
+	scan(i int) Access
+	cold(i int) Access
+	steadyShared() bool
+}
+
+// liveCursors mutates the Generator's shared cursors directly.
+type liveCursors struct{ g *Generator }
+
+func (c liveCursors) scan(int) Access {
+	g := c.g
+	g.scanCount++
+	pos := (g.scanCount / uint64(g.spec.ScanReadsPerBlock)) % g.lay.scanLen
+	return Access{Block: g.lay.scanBase + pos}
+}
+
+func (c liveCursors) cold(int) Access {
+	g := c.g
+	pos := g.sharedCold % g.lay.sharedLen
+	g.sharedCold++
+	return Access{Block: g.lay.sharedBase + pos}
+}
+
+func (c liveCursors) steadyShared() bool { return c.g.sharedCold >= c.g.lay.sharedLen }
+
 // fill pre-samples the next genBatch references for thread t. Hot state
 // (RNG, layout, mix, migratory episode, sweep cursor) lives in locals for
 // the duration of the batch; only the shared cursors touch the Generator.
 func (g *Generator) fill(t int) {
-	ring := g.ring[t][:genBatch:genBatch]
-	r := &g.rngs[t]
+	var st threadGenState
+	g.loadThread(t, &st)
+	fillCore(g, t, &st, g.ring[t][:genBatch:genBatch], liveCursors{g})
+	g.storeThread(t, &st)
+}
+
+// fillCore samples one batch of thread t's stream into ring, advancing st
+// and drawing shared-cursor positions through cur. It touches nothing on
+// g beyond immutable sampling parameters (spec, layout, Zipf tables), so
+// a deferred-cursor instantiation is safe to run off the owning
+// goroutine against a state snapshot.
+func fillCore[C cursors](g *Generator, t int, st *threadGenState, ring []Access, cur C) {
+	r := &st.rng
 	lay := &g.lay
 	spec := &g.spec
-	gen := g.genRefs[t]
+	gen := st.genRefs
 	phased := len(spec.Phases) > 0
-	mig := g.mig[t]
-	privSweep := g.privSweep[t]
+	mig := st.mig
+	privSweep := st.privSweep
 	base := uint64(t) * lay.privPerThread
-	mix := g.mix[t]
+	mix := st.mix
 
 	for i := range ring {
 		gen++
 		// Track phase transitions (no-op for unphased specs).
 		if phased {
-			if idx := spec.phaseAt(gen + spec.PhaseOffset); idx != g.phaseIdx[t] {
-				g.phaseIdx[t] = idx
-				g.mix[t] = spec.mixFor(idx)
-				mix = g.mix[t]
+			if idx := spec.phaseAt(gen + spec.PhaseOffset); idx != st.phaseIdx {
+				st.phaseIdx = idx
+				st.mix = spec.mixFor(idx)
+				mix = st.mix
 			}
 		}
 
@@ -236,21 +314,17 @@ func (g *Generator) fill(t int) {
 			// references (across all threads) land on the same block before
 			// the shared cursor advances, so trailing reads — usually by a
 			// different thread — hit the leader's cache.
-			g.scanCount++
-			pos := (g.scanCount / uint64(spec.ScanReadsPerBlock)) % lay.scanLen
-			ring[i] = Access{Block: lay.scanBase + pos}
+			ring[i] = cur.scan(i)
 
 		case u < mix.pMig+mix.pScan+mix.pShared:
 			// Shared-read region: cold coverage sweep (fast on the first
 			// lap, then a trickle) or the Zipf-hot set.
 			coldP := spec.SharedColdSteady
-			if g.sharedCold < lay.sharedLen {
+			if !cur.steadyShared() {
 				coldP = spec.SharedColdWarm
 			}
 			if r.Bool(coldP) {
-				pos := g.sharedCold % lay.sharedLen
-				g.sharedCold++
-				ring[i] = Access{Block: lay.sharedBase + pos}
+				ring[i] = cur.cold(i)
 			} else {
 				b := g.zipfShared.Sample(r)
 				ring[i] = Access{Block: lay.sharedBase + b, Write: r.Bool(mix.writeFracShared)}
@@ -272,9 +346,9 @@ func (g *Generator) fill(t int) {
 		}
 	}
 
-	g.genRefs[t] = gen
-	g.mig[t] = mig
-	g.privSweep[t] = privSweep
+	st.genRefs = gen
+	st.mig = mig
+	st.privSweep = privSweep
 }
 
 // RegionOf classifies a block index produced by this generator.

@@ -1,0 +1,150 @@
+package workload
+
+import "sync/atomic"
+
+// Prefill lets the sharded engine compute a thread's next sampling batch
+// on a worker goroutine while the timing spine keeps consuming the
+// current ring, without perturbing the reference stream by a single bit.
+//
+// The batch loop (fillCore) draws from two kinds of state:
+//
+//   - per-thread state (RNG, migratory episode, sweep cursor, phase):
+//     snapshotted into the job at Begin and committed back at Adopt, so
+//     the worker never touches the Generator's arrays;
+//
+//   - generator-shared cursors (collaborative scan position, shared-region
+//     cold sweep): these advance in cross-thread fill ORDER, which a
+//     worker cannot know ahead of time. The deferred cursor sink records
+//     which batch entries need a cursor value, and Adopt — which runs on
+//     the spine at the exact point the synchronous fill would have — walks
+//     the recorded entries in stream order and draws the live cursors.
+//
+// The deferral is only valid when cursor draws consume no RNG state that
+// depends on cursor position. The scan and cold cursors themselves draw
+// nothing, but the cold-vs-hot *decision* uses a probability that changes
+// when the shared cold sweep finishes its first lap (SharedColdWarm vs
+// SharedColdSteady). The sweep position is monotone, so once the lap is
+// done it stays done: SteadyPrefill gates jobs to that regime, where the
+// decision probability is a constant and the draw count is cursor-
+// independent. Warm-phase batches must use the synchronous FillSync.
+type PrefillJob struct {
+	g      *Generator
+	thread int
+	st     threadGenState
+
+	// buf is the staging ring the worker fills; Adopt swaps it with the
+	// thread's live ring, so both arrays are reused forever (zero steady-
+	// state allocations).
+	buf []Access
+
+	// scanIdx / coldIdx record, in stream order, the batch entries whose
+	// Block must be drawn from the live scan / cold cursor at Adopt. The
+	// two lists can be patched independently because the cursors are
+	// independent: interleaving scan and cold draws differently does not
+	// change what either cursor yields.
+	scanIdx []int32
+	coldIdx []int32
+
+	// ready publishes the worker's completion to the spine. The
+	// Store(true)/Load() pair carries the happens-before edge that makes
+	// the spine's read of st, buf, and the index lists race-free.
+	ready atomic.Bool
+}
+
+// NewPrefillJob allocates the reusable staging buffers for thread t.
+// Call once at engine setup; the job is then recycled every batch.
+func NewPrefillJob(g *Generator, t int) *PrefillJob {
+	return &PrefillJob{
+		g:       g,
+		thread:  t,
+		buf:     make([]Access, genBatch),
+		scanIdx: make([]int32, 0, genBatch),
+		coldIdx: make([]int32, 0, genBatch),
+	}
+}
+
+// Thread returns the generator thread this job prefills for.
+func (j *PrefillJob) Thread() int { return j.thread }
+
+// SteadyPrefill reports whether thread batches may be prefilled off the
+// spine: true once the shared-region cold sweep has completed its first
+// lap, after which the cold-draw probability is constant. Spine-side only.
+func (g *Generator) SteadyPrefill() bool { return g.sharedCold >= g.lay.sharedLen }
+
+// NextOr pops the next prefetched reference for thread t, or reports
+// false when the ring is drained (it never refills; the caller chooses
+// FillSync or an adopted prefill batch). Spine-side only.
+func (g *Generator) NextOr(t int) (Access, bool) {
+	i := g.ringPos[t]
+	if i == genBatch {
+		return Access{}, false
+	}
+	g.ringPos[t] = i + 1
+	return g.ring[t][i], true
+}
+
+// FillSync refills thread t's ring synchronously — the exact sequential
+// path — and returns the first reference of the new batch.
+func (g *Generator) FillSync(t int) Access { return g.refill(t) }
+
+// Begin snapshots thread t's sampler state into the job and clears the
+// ready flag. Spine-side; must not be called while a previous batch from
+// this job is still unadopted.
+func (j *PrefillJob) Begin() {
+	j.g.loadThread(j.thread, &j.st)
+	j.ready.Store(false)
+}
+
+// Run computes the batch against the snapshot. Worker-side: it reads only
+// immutable Generator fields (spec, layout, Zipf tables), so it may run
+// concurrently with the spine mutating every live cursor and other
+// threads' state. Entries that need a shared cursor get a placeholder
+// Block and an index-list entry for Adopt to patch.
+func (j *PrefillJob) Run() {
+	j.scanIdx = j.scanIdx[:0]
+	j.coldIdx = j.coldIdx[:0]
+	fillCore(j.g, j.thread, &j.st, j.buf[:genBatch:genBatch], deferredCursors{j})
+	j.ready.Store(true)
+}
+
+// Ready reports whether Run has published its batch. Spine-side.
+func (j *PrefillJob) Ready() bool { return j.ready.Load() }
+
+// Adopt installs the prefilled batch as thread t's live ring at the point
+// the synchronous fill would have run, patches the deferred shared-cursor
+// entries in stream order against the live cursors, commits the worker's
+// post-batch state, and returns the first reference (mirroring refill).
+// Spine-side; the caller must have observed Ready.
+func (j *PrefillJob) Adopt() Access {
+	g, t := j.g, j.thread
+	g.ring[t], j.buf = j.buf, g.ring[t]
+	ring := g.ring[t]
+	live := liveCursors{g}
+	for _, i := range j.scanIdx {
+		ring[i] = live.scan(int(i))
+	}
+	for _, i := range j.coldIdx {
+		ring[i] = live.cold(int(i))
+	}
+	g.storeThread(t, &j.st)
+	g.ringPos[t] = 1
+	return ring[0]
+}
+
+// deferredCursors is the worker-side cursor sink: it records which batch
+// entries need a live cursor draw instead of performing one. It reports
+// the shared sweep as steady — jobs are gated to that regime — so the
+// cold-draw probability matches what the live path would use.
+type deferredCursors struct{ j *PrefillJob }
+
+func (c deferredCursors) scan(i int) Access {
+	c.j.scanIdx = append(c.j.scanIdx, int32(i))
+	return Access{}
+}
+
+func (c deferredCursors) cold(i int) Access {
+	c.j.coldIdx = append(c.j.coldIdx, int32(i))
+	return Access{}
+}
+
+func (c deferredCursors) steadyShared() bool { return true }

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"consim/internal/sim"
+)
+
+// prefetchSpec returns a spec exercising every sampling branch: phases,
+// migratory episodes, scans, the shared cold sweep and Zipf hot set, and
+// the private sweep/hot split.
+func prefetchSpec(t *testing.T) Spec {
+	t.Helper()
+	return Specs()[TPCW].Scaled(64)
+}
+
+// drainOrder consumes n references per thread in a fixed round-robin
+// interleaving from g via Next, returning the streams per thread.
+func drainNext(g *Generator, threads, n int) [][]Access {
+	out := make([][]Access, threads)
+	for i := 0; i < n; i++ {
+		for t := 0; t < threads; t++ {
+			out[t] = append(out[t], g.Next(t))
+		}
+	}
+	return out
+}
+
+// TestPrefillMatchesNext drives one generator through the prefill
+// protocol (NextOr + Begin/Run/Adopt, falling back to FillSync when the
+// steady gate is closed) and asserts the stream is bit-identical to a
+// second generator consumed purely through Next in the same
+// interleaving. The drain length is chosen to cross the warm-to-steady
+// transition of the shared cold sweep, so the gate itself is exercised.
+func TestPrefillMatchesNext(t *testing.T) {
+	spec := prefetchSpec(t)
+	const threads = 4
+	const perThread = 30_000
+
+	ref := NewGenerator(spec, threads, 12345)
+	want := drainNext(ref, threads, perThread)
+
+	g := NewGenerator(spec, threads, 12345)
+	jobs := make([]*PrefillJob, threads)
+	for i := range jobs {
+		jobs[i] = NewPrefillJob(g, i)
+	}
+	rng := sim.NewRNG(99)
+	var prefills, syncs int
+	got := make([][]Access, threads)
+	for i := 0; i < perThread; i++ {
+		for th := 0; th < threads; th++ {
+			a, ok := g.NextOr(th)
+			if !ok {
+				// Randomly choose the deferred path when legal, running
+				// the worker step on another goroutine to mirror the
+				// engine (and give the race detector something to check).
+				if g.SteadyPrefill() && rng.Bool(0.7) {
+					j := jobs[th]
+					j.Begin()
+					done := make(chan struct{})
+					go func() { j.Run(); close(done) }()
+					<-done
+					if !j.Ready() {
+						t.Fatal("job not ready after Run")
+					}
+					a = j.Adopt()
+					prefills++
+				} else {
+					a = g.FillSync(th)
+					syncs++
+				}
+			}
+			got[th] = append(got[th], a)
+		}
+	}
+	if prefills == 0 || syncs == 0 {
+		t.Fatalf("want both paths exercised: prefills=%d syncs=%d", prefills, syncs)
+	}
+	for th := range want {
+		for i := range want[th] {
+			if got[th][i] != want[th][i] {
+				t.Fatalf("thread %d ref %d: got %+v want %+v (prefills=%d syncs=%d)",
+					th, i, got[th][i], want[th][i], prefills, syncs)
+			}
+		}
+	}
+	if g.Refs(0) != ref.Refs(0) {
+		t.Fatalf("Refs diverged: %d vs %d", g.Refs(0), ref.Refs(0))
+	}
+}
+
+// TestPrefillConcurrentWorkers runs one in-flight prefill job per thread
+// concurrently with the spine consuming and synchronously refilling the
+// other threads, then adopts in thread order — the engine's actual
+// overlap pattern — and checks the merged streams against pure Next.
+func TestPrefillConcurrentWorkers(t *testing.T) {
+	spec := prefetchSpec(t)
+	const threads = 4
+	const warm = 20_000 // enough to reach the steady shared sweep
+	const rounds = 200
+
+	ref := NewGenerator(spec, threads, 777)
+	g := NewGenerator(spec, threads, 777)
+
+	// Warm both generators identically through the live path.
+	want := drainNext(ref, threads, warm)
+	got := drainNext(g, threads, warm)
+	if !g.SteadyPrefill() {
+		t.Fatalf("generator not steady after %d refs/thread", warm)
+	}
+
+	// Adoption swaps the whole ring, so it is only legal at a drain
+	// point: consume each thread's leftover prefetched entries first.
+	for th := 0; th < threads; th++ {
+		for {
+			a, ok := g.NextOr(th)
+			if !ok {
+				break
+			}
+			got[th] = append(got[th], a)
+			want[th] = append(want[th], ref.Next(th))
+		}
+	}
+
+	jobs := make([]*PrefillJob, threads)
+	for i := range jobs {
+		jobs[i] = NewPrefillJob(g, i)
+	}
+	for r := 0; r < rounds; r++ {
+		// Launch every thread's next batch concurrently...
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			j.Begin()
+			wg.Add(1)
+			go func(j *PrefillJob) { defer wg.Done(); j.Run() }(j)
+		}
+		wg.Wait()
+		// ...and adopt+drain in thread order, exactly one batch each.
+		for th, j := range jobs {
+			got[th] = append(got[th], j.Adopt())
+			for k := 1; k < 256; k++ {
+				a, ok := g.NextOr(th)
+				if !ok {
+					t.Fatalf("ring drained mid-batch at %d", k)
+				}
+				got[th] = append(got[th], a)
+			}
+			for k := 0; k < 256; k++ {
+				want[th] = append(want[th], ref.Next(th))
+			}
+		}
+	}
+	for th := range want {
+		for i := range want[th] {
+			if got[th][i] != want[th][i] {
+				t.Fatalf("thread %d ref %d: got %+v want %+v", th, i, got[th][i], want[th][i])
+			}
+		}
+	}
+}

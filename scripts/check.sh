@@ -23,9 +23,16 @@ fi
 echo "== allocation budgets =="
 # Steady-state simulation loop must not allocate (perf regression guard).
 # TestSteadyStateAllocBudget runs with live metrics attached, so the
-# observability publish cadence is inside the guarded path.
+# observability publish cadence is inside the guarded path; the sharded
+# variant holds the engine's worker lanes to the same budget.
 go test -run 'TestSteadyStateAllocBudget' ./internal/core
+go test -run 'TestShardedSteadyStateAllocBudget' ./internal/core
 go test -run 'TestDirectorySteadyStateAllocs' ./internal/coherence
+
+echo "== sharded engine smoke =="
+# The golden fixtures must reproduce bit-for-bit under -shards (the
+# parallel engine's central determinism claim).
+go test -run 'TestGoldenResults' ./internal/core -shards 2
 
 echo "== bench regression gate =="
 # Throughput-only bench run compared against the committed baseline:
