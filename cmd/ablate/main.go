@@ -28,6 +28,8 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), consim.ParallelFlagUsage)
 		shards   = flag.Int("shards", 1, consim.ShardsFlagUsage)
 	)
+	var sflags consim.SampleFlags
+	sflags.Register(flag.CommandLine)
 	var ocli obs.CLI
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
@@ -52,7 +54,7 @@ func main() {
 	}
 	r := consim.NewRunner(consim.RunnerOptions{
 		Scale: *scale, WarmupRefs: *warm, MeasureRefs: *meas, Seed: *seed,
-		Parallel: *parallel, Shards: *shards, Obs: o,
+		Parallel: *parallel, Shards: *shards, Sample: sflags.Config(), Obs: o,
 	})
 	for _, id := range ids {
 		start := time.Now()

@@ -72,6 +72,12 @@ type Report struct {
 	// bit-identical across shard counts before the numbers are recorded.
 	ShardScaling []ShardPoint `json:"shard_scaling,omitempty"`
 
+	// SampleSweep records the interval-sampling accuracy/speedup section
+	// (-samplesweep): each figure built fully detailed and sampled, with
+	// per-figure wall times and worst cell deviations against the
+	// declared CI-derived error bound.
+	SampleSweep *SampleSweepReport `json:"sample_sweep,omitempty"`
+
 	// Figure suite wall times (seconds), at the benchmark scale.
 	FigureParallel int                `json:"figure_parallel,omitempty"`
 	FigureSeconds  map[string]float64 `json:"figure_seconds,omitempty"`
@@ -96,6 +102,27 @@ type ShardPoint struct {
 	SyncFills     uint64  `json:"sync_fills,omitempty"`
 	ThinkBatches  uint64  `json:"think_batches,omitempty"`
 	Stalls        uint64  `json:"stalls,omitempty"`
+}
+
+// SampleSweepReport is the -samplesweep section: the sampling
+// configuration used, the declared error bound (2 x the worse of the CI
+// target and the worst achieved CI), per-figure comparisons, and the
+// aggregate speedup and worst deviation.
+type SampleSweepReport struct {
+	WarmupRefs  uint64  `json:"warmup_refs"`
+	MeasureRefs uint64  `json:"measure_refs"`
+	WindowRefs  uint64  `json:"window_refs"`
+	FFRatio     int     `json:"ff_ratio"`
+	CITarget    float64 `json:"ci_target"`
+	MinWindows  int     `json:"min_windows"`
+	MaxRefs     uint64  `json:"max_refs"`
+
+	Bound   float64                   `json:"bound"`
+	Figures []consim.FigureComparison `json:"figures"`
+
+	Speedup   float64 `json:"speedup"`     // total detailed wall / total sampled wall
+	MaxRelErr float64 `json:"max_rel_err"` // worst cell deviation over all figures
+	Pass      bool    `json:"pass"`        // MaxRelErr <= Bound
 }
 
 // peakSys returns the high-water mark of memory obtained from the OS.
@@ -138,6 +165,11 @@ func run() (err error) {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), consim.ParallelFlagUsage)
 		shards   = flag.Int("shards", 1, consim.ShardsFlagUsage)
 		sweep    = flag.String("shardsweep", "", "comma-separated shard counts for the scaling section, e.g. 1,2,4,8 (empty = skip)")
+		ssweep   = flag.String("samplesweep", "", "comma-separated figure IDs for the sampling accuracy/speedup section, e.g. F3,F4 (empty = skip)")
+		sswarm   = flag.Uint64("samplesweep-warm", 60_000, "samplesweep warm-up references per core")
+		ssmeas   = flag.Uint64("samplesweep-meas", 1_000_000, "samplesweep detailed measurement references per core")
+		sswindow = flag.Uint64("samplesweep-window", 5_000, "samplesweep detailed-window length")
+		ssmax    = flag.Uint64("samplesweep-maxrefs", 40_000, "samplesweep per-core detailed-reference budget")
 		figures  = flag.String("figures", "T2,F2,F12", "comma-separated figure IDs to time (empty = skip)")
 		out      = flag.String("out", "BENCH_consim.json", "report history path; each run appends a record (- = print this run to stdout)")
 		baseline = flag.String("baseline", "", "committed report to gate against (newest record); exit non-zero on >10% refs_per_sec regression or any allocs_per_ref growth")
@@ -227,6 +259,13 @@ func run() (err error) {
 
 	if s := strings.TrimSpace(*sweep); s != "" {
 		if rep.ShardScaling, err = shardScaling(s, *scale, *warm, *meas, *iters); err != nil {
+			return err
+		}
+		rep.PeakRSSBytes = peakSys(rep.PeakRSSBytes)
+	}
+
+	if ids := strings.TrimSpace(*ssweep); ids != "" {
+		if rep.SampleSweep, err = sampleSweep(ids, *scale, *sswarm, *ssmeas, *sswindow, *ssmax, *parallel); err != nil {
 			return err
 		}
 		rep.PeakRSSBytes = peakSys(rep.PeakRSSBytes)
@@ -339,6 +378,64 @@ func shardScaling(list string, scale int, warm, meas uint64, iters int) ([]Shard
 			n, p.WallSeconds, p.Speedup, 100*p.StallFraction)
 	}
 	return points, nil
+}
+
+// sampleSweep builds each listed figure twice — fully detailed and
+// interval-sampled — and reports per-figure speedup and worst cell
+// deviation against the declared error bound. An out-of-bound deviation
+// is an error: the sampling engine's accuracy contract is deterministic
+// for a fixed seed and configuration, so a violation here is a real
+// defect, not noise.
+func sampleSweep(list string, scale int, warm, meas, window, maxRefs uint64, parallel int) (*SampleSweepReport, error) {
+	sc := consim.SampleConfig{
+		WindowRefs: window,
+		FFRatio:    4,
+		CITarget:   0.05,
+		MinWindows: 4,
+		MaxRefs:    maxRefs,
+	}
+	rep := &SampleSweepReport{
+		WarmupRefs:  warm,
+		MeasureRefs: meas,
+		WindowRefs:  sc.WindowRefs,
+		FFRatio:     sc.FFRatio,
+		CITarget:    sc.CITarget,
+		MinWindows:  sc.MinWindows,
+		MaxRefs:     sc.MaxRefs,
+	}
+	var ids []string
+	for _, part := range strings.Split(list, ",") {
+		ids = append(ids, strings.TrimSpace(part))
+	}
+	opt := consim.RunnerOptions{
+		Scale: scale, WarmupRefs: warm, MeasureRefs: meas, Parallel: parallel,
+	}
+	figs, bound, err := consim.CompareSampledFigures(opt, sc, ids)
+	if err != nil {
+		return nil, err
+	}
+	rep.Figures = figs
+	rep.Bound = bound
+	var fullSec, sampSec float64
+	for _, f := range figs {
+		fullSec += f.FullSeconds
+		sampSec += f.SampledSeconds
+		if f.MaxRelErr > rep.MaxRelErr {
+			rep.MaxRelErr = f.MaxRelErr
+		}
+		fmt.Fprintf(os.Stderr, "[samplesweep %s: %.2fs -> %.2fs (%.1fx), worst cell %s err %.1f%%]\n",
+			f.ID, f.FullSeconds, f.SampledSeconds, f.Speedup(), f.WorstCell, 100*f.MaxRelErr)
+	}
+	if sampSec > 0 {
+		rep.Speedup = fullSec / sampSec
+	}
+	rep.Pass = rep.MaxRelErr <= rep.Bound
+	fmt.Fprintf(os.Stderr, "[samplesweep total: %.1fx speedup, max err %.1f%% vs bound %.1f%%]\n",
+		rep.Speedup, 100*rep.MaxRelErr, 100*rep.Bound)
+	if !rep.Pass {
+		return rep, fmt.Errorf("samplesweep: max cell error %.3f exceeds declared bound %.3f", rep.MaxRelErr, rep.Bound)
+	}
+	return rep, nil
 }
 
 // readReports loads a report history, absorbing the legacy single-object

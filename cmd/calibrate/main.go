@@ -25,6 +25,8 @@ func main() {
 	gradient := flag.Bool("gradient", false, "also print the capacity gradient (miss rate and runtime at shared/shared-4/private)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), consim.ParallelFlagUsage)
 	shards := flag.Int("shards", 1, consim.ShardsFlagUsage)
+	var sflags consim.SampleFlags
+	sflags.Register(flag.CommandLine)
 	var ocli obs.CLI
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
@@ -55,6 +57,7 @@ func main() {
 		cfg.WarmupRefs = *warm
 		cfg.MeasureRefs = *meas
 		cfg.Shards = *shards
+		cfg.Sample = sflags.Config()
 		return cfg
 	}
 	for _, spec := range workload.Specs() {

@@ -85,6 +85,10 @@ func printHeader(cfg consim.Config, specs []consim.WorkloadSpec, asg [][]int) {
 // printResult renders one run's per-VM metrics and system indicators.
 func printResult(res consim.Result, regions, snapshot bool) {
 	fmt.Printf("\nmeasurement window: %d cycles\n", res.Cycles)
+	if sa := res.Sample; sa.Windows > 0 {
+		fmt.Printf("sampled: %d windows, %d refs/core detailed, %d fast-forwarded (%s; rel 95%% CI %.3f) — metrics are estimates\n",
+			sa.Windows, sa.DetailedRefs, sa.SkippedRefs, sa.StopReason, sa.AchievedRelCI)
+	}
 	fmt.Printf("%-4s %-8s %12s %10s %10s %8s %8s %8s %8s\n",
 		"vm", "workload", "refs", "cyc/tx", "missRate", "missLat", "c2c", "c2cDirty", "memReads")
 	for _, v := range res.VMs {
@@ -155,6 +159,8 @@ func run() (err error) {
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), consim.ParallelFlagUsage)
 		shards    = flag.Int("shards", 1, consim.ShardsFlagUsage)
 	)
+	var sflags consim.SampleFlags
+	sflags.Register(flag.CommandLine)
 	var ocli obs.CLI
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
@@ -211,6 +217,7 @@ func run() (err error) {
 		cfg.WarmupRefs = *warm
 		cfg.MeasureRefs = *meas
 		cfg.Shards = *shards
+		cfg.Sample = sflags.Config()
 		cfgs[i] = cfg
 	}
 

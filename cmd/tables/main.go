@@ -43,6 +43,8 @@ func run() (err error) {
 		shards   = flag.Int("shards", 1, consim.ShardsFlagUsage)
 		format   = flag.String("format", "text", "output format: text, md, csv, bars")
 	)
+	var sflags consim.SampleFlags
+	sflags.Register(flag.CommandLine)
 	var ocli obs.CLI
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
@@ -78,6 +80,7 @@ func run() (err error) {
 		MeasureRefs: *meas,
 		Parallel:    *parallel,
 		Shards:      *shards,
+		Sample:      sflags.Config(),
 		Obs:         o,
 	})
 

@@ -116,6 +116,8 @@ func replay(args []string) error {
 	warm := fs.Uint64("warm", 50_000, "warm-up references per core")
 	meas := fs.Uint64("meas", 100_000, "measured references per core")
 	shards := fs.Int("shards", 1, consim.ShardsFlagUsage)
+	var sflags consim.SampleFlags
+	sflags.Register(fs)
 	fs.Parse(args[1:])
 
 	if err := consim.ValidateShards(*shards); err != nil {
@@ -136,6 +138,7 @@ func replay(args []string) error {
 	cfg.WarmupRefs = *warm
 	cfg.MeasureRefs = *meas
 	cfg.Shards = *shards
+	cfg.Sample = sflags.Config()
 	cfg.Sources = []workload.Source{rd}
 
 	res, err := consim.Run(cfg)
@@ -146,5 +149,9 @@ func replay(args []string) error {
 	fmt.Printf("replayed %s on %s/%s: cyc/tx=%.0f missRate=%.4f missLat=%.1f c2c=%.3f (loops t0=%d)\n",
 		v.Name, cfg.SharingName(), cfg.Policy,
 		v.CyclesPerTx, v.MissRate(), v.AvgMissLatency(), v.Stats.C2CFraction(), rd.Loops(0))
+	if sa := res.Sample; sa.Windows > 0 {
+		fmt.Printf("sampled: %d windows, %d refs/core detailed, %d fast-forwarded (%s; rel 95%% CI %.3f)\n",
+			sa.Windows, sa.DetailedRefs, sa.SkippedRefs, sa.StopReason, sa.AchievedRelCI)
+	}
 	return nil
 }

@@ -24,6 +24,7 @@
 package consim
 
 import (
+	"flag"
 	"runtime"
 	"sync"
 
@@ -49,15 +50,26 @@ type (
 	// ShardStats reports the intra-run parallel engine's activity
 	// (Result.Shard); all-zero for sequential runs.
 	ShardStats = core.ShardStats
+	// SampleConfig enables interval-sampled simulation (Config.Sample):
+	// detailed windows, functional fast-forward, CI-convergence early
+	// stop. The zero value keeps runs fully detailed and bit-identical.
+	SampleConfig = core.SampleConfig
+	// SampleStats reports a sampled run's coverage and achieved
+	// confidence interval (Result.Sample); all-zero for detailed runs.
+	SampleStats = core.SampleStats
 )
 
-// Canonical CLI help strings for the two parallelism knobs, shared by
-// every command so the flags read identically across the toolset.
-// -parallel spreads independent simulations across CPUs; -shards splits
-// one simulation across worker lanes. Neither ever changes results.
+// Canonical CLI help strings for the three speed knobs, shared by every
+// command so the flags read identically across the toolset. -parallel
+// spreads independent simulations across CPUs and -shards splits one
+// simulation across worker lanes; neither ever changes results. -sample
+// trades exactness for speed: it estimates metrics from detailed windows
+// separated by functional fast-forward, with the achieved confidence
+// interval recorded in manifests.
 const (
 	ParallelFlagUsage = "independent simulations to keep in flight at once (across-run parallelism; never changes results)"
 	ShardsFlagUsage   = "worker lanes inside each simulation: 1 = sequential engine, or 2/4/8/16 evenly dividing the core count; results are bit-identical at any value"
+	SampleFlagUsage   = "detailed-window length in per-core references; >0 enables interval-sampled simulation (approximate: metrics become CI-bounded estimates)"
 )
 
 // ValidateShards checks a -shards value against the default 16-core
@@ -65,6 +77,41 @@ const (
 // performs the same check against the configured core count.
 func ValidateShards(shards int) error {
 	return sim.ValidateShards(shards, core.DefaultCores)
+}
+
+// SampleFlags registers the interval-sampling flag set on a CLI and
+// assembles the resulting SampleConfig, so every command exposes the
+// same five knobs with identical help text.
+type SampleFlags struct {
+	window     uint64
+	ratio      int
+	ciTarget   float64
+	minWindows int
+	maxRefs    uint64
+}
+
+// Register installs -sample and its companion knobs on fs.
+func (sf *SampleFlags) Register(fs *flag.FlagSet) {
+	fs.Uint64Var(&sf.window, "sample", 0, SampleFlagUsage)
+	fs.IntVar(&sf.ratio, "sample-ratio", 0, "fast-forward length between windows as a multiple of -sample (default 4)")
+	fs.Float64Var(&sf.ciTarget, "sample-ci", 0, "stop once every per-VM metric's relative 95% CI half-width reaches this (default 0.05)")
+	fs.IntVar(&sf.minWindows, "sample-min-windows", 0, "fewest windows convergence may stop at (default 4)")
+	fs.Uint64Var(&sf.maxRefs, "sample-max-refs", 0, "per-core detailed-reference budget; stop when reached even unconverged (default: the measurement budget)")
+}
+
+// Config returns the assembled SampleConfig (zero value when -sample
+// was not set; unset companions fall to the engine defaults).
+func (sf *SampleFlags) Config() SampleConfig {
+	if sf.window == 0 {
+		return SampleConfig{}
+	}
+	return SampleConfig{
+		WindowRefs: sf.window,
+		FFRatio:    sf.ratio,
+		CITarget:   sf.ciTarget,
+		MinWindows: sf.minWindows,
+		MaxRefs:    sf.maxRefs,
+	}
 }
 
 // Workload modeling types.
@@ -98,6 +145,12 @@ type (
 	RunnerOptions = harness.Options
 	// FigureTable is a rendered figure/table result.
 	FigureTable = harness.Table
+	// FigureComparison is one figure built detailed and sampled, with
+	// wall times and the worst per-cell deviation.
+	FigureComparison = harness.FigureComparison
+	// RunComparison is one configuration run detailed and sampled, with
+	// per-VM metric deviations against the CI-derived bound.
+	RunComparison = harness.RunComparison
 )
 
 // The four commercial workloads.
@@ -206,3 +259,18 @@ func FigureIDs() []string { return harness.FigureIDs() }
 
 // AblationIDs lists the design-choice ablation studies (A1..A6).
 func AblationIDs() []string { return harness.AblationIDs() }
+
+// CompareSampledRun executes cfg fully detailed and again interval-
+// sampled under sc, reporting per-VM metric deviations against the
+// sampled run's CI-derived error bound.
+func CompareSampledRun(cfg Config, sc SampleConfig) (RunComparison, error) {
+	return harness.CompareSampledRun(cfg, sc)
+}
+
+// CompareSampledFigures builds the given figures twice — one detailed
+// runner, one sampled — and returns per-figure comparisons plus the
+// declared error bound (2 x the worse of the CI target and the worst
+// achieved CI across the sampled runs).
+func CompareSampledFigures(opt RunnerOptions, sc SampleConfig, ids []string) ([]FigureComparison, float64, error) {
+	return harness.CompareSampledFigures(opt, sc, ids)
+}

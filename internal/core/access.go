@@ -16,6 +16,93 @@ import (
 // writes. Every latency is accumulated on the mesh model (reserving link
 // time), the bank/directory occupancy trackers and the memory
 // controllers, so contention emerges from the traffic itself.
+//
+// The walk is generic over a timingModel so the sampled-simulation mode
+// can fast-forward functionally: liveTiming is the detailed machine
+// (every call mutates contention state exactly as before the split), and
+// ffTiming strips the walk down to its functional effects — cache and
+// directory state still evolve reference by reference, but the mesh,
+// bank/directory occupancy and memory controllers are never touched and
+// per-VM counters land in scratch. The type parameter monomorphizes both
+// instantiations, so the detailed path compiles to the same code it was
+// as plain methods.
+
+// timingModel abstracts every timing-visible side effect of the access
+// walk. Implementations must not touch any state the functional plane
+// (cache arrays, directory, workload cursors) depends on; conversely the
+// walk routes every contention-state mutation through these methods.
+type timingModel interface {
+	// route advances a message across the mesh (reserving link time in
+	// the detailed model) and returns its arrival time.
+	route(s *System, at sim.Cycle, from, to, flits int) sim.Cycle
+	// bankAccess reserves the LLC slice at node and returns data-ready
+	// time.
+	bankAccess(s *System, at sim.Cycle, node int) sim.Cycle
+	// dirVisit reserves the directory slice at home and performs the
+	// directory-cache lookup (functional warming in both models).
+	dirVisit(s *System, at sim.Cycle, home int, addr sim.Addr) (sim.Cycle, bool)
+	// memRead issues a demand fetch at a controller.
+	memRead(s *System, at sim.Cycle, addr sim.Addr) sim.Cycle
+	// writeback retires dirty data at a controller.
+	writeback(s *System, at sim.Cycle, addr sim.Addr)
+	// memPenalty is the DRAM charge for an uncached directory entry.
+	memPenalty(s *System) sim.Cycle
+	// stats returns the counter sink for vmID's reference.
+	stats(s *System, vmID int) *vm.Stats
+}
+
+// liveTiming is the detailed machine: every method is the pre-split
+// behaviour, delegating to the System's contention trackers.
+type liveTiming struct{}
+
+func (liveTiming) route(s *System, at sim.Cycle, from, to, flits int) sim.Cycle {
+	return s.route(at, from, to, flits)
+}
+
+func (liveTiming) bankAccess(s *System, at sim.Cycle, node int) sim.Cycle {
+	return s.bankAccess(at, node)
+}
+
+func (liveTiming) dirVisit(s *System, at sim.Cycle, home int, addr sim.Addr) (sim.Cycle, bool) {
+	return s.dirVisit(at, home, addr)
+}
+
+func (liveTiming) memRead(s *System, at sim.Cycle, addr sim.Addr) sim.Cycle {
+	return s.mem.Read(at, addr)
+}
+
+func (liveTiming) writeback(s *System, at sim.Cycle, addr sim.Addr) {
+	s.mem.Writeback(at, addr)
+}
+
+func (liveTiming) memPenalty(s *System) sim.Cycle { return s.cfg.Mem.Latency }
+
+func (liveTiming) stats(s *System, vmID int) *vm.Stats { return &s.vms[vmID].Stats }
+
+// ffTiming is the fast-forward model: references update cache and
+// directory state (including the directory caches — functional warming)
+// but reserve nothing on the mesh, banks, directories or memory
+// controllers, and every counter increment lands in per-VM scratch that
+// the measurement metrics never read. Returned times collapse to the
+// caller's `at`, which is fine: nothing in the walk branches on time,
+// and the fast-forward loop discards the latency.
+type ffTiming struct{}
+
+func (ffTiming) route(s *System, at sim.Cycle, from, to, flits int) sim.Cycle { return at }
+
+func (ffTiming) bankAccess(s *System, at sim.Cycle, node int) sim.Cycle { return at }
+
+func (ffTiming) dirVisit(s *System, at sim.Cycle, home int, addr sim.Addr) (sim.Cycle, bool) {
+	return at, s.dirCache.Access(home, addr)
+}
+
+func (ffTiming) memRead(s *System, at sim.Cycle, addr sim.Addr) sim.Cycle { return at }
+
+func (ffTiming) writeback(s *System, at sim.Cycle, addr sim.Addr) {}
+
+func (ffTiming) memPenalty(s *System) sim.Cycle { return 0 }
+
+func (ffTiming) stats(s *System, vmID int) *vm.Stats { return &s.ffStats[vmID] }
 
 // route advances a message of the given flit count across the mesh and
 // returns its arrival time.
@@ -46,21 +133,27 @@ func (s *System) dirVisit(at sim.Cycle, home int, addr sim.Addr) (sim.Cycle, boo
 	return start + dirLatency, s.dirCache.Access(home, addr)
 }
 
-// access performs one reference by core c on behalf of vmID and returns
-// its total latency.
+// access performs one reference by core c on behalf of vmID under the
+// detailed timing model and returns its total latency.
+func (s *System) access(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
+	return accessTM(s, liveTiming{}, c, vmID, addr, write)
+}
+
+// accessTM performs one reference by core c on behalf of vmID and
+// returns its total latency under the given timing model.
 //
 // The L0 read-hit return is the simulator's fastest path: hits dominate
 // every Table II workload, a read hit changes no coherence or directory
 // state, and the L0/L1 state-sync invariant (co-resident lines always
 // share a state; the write path still asserts inclusion) means nothing
 // else needs to be consulted.
-func (s *System) access(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
+func accessTM[T timingModel](s *System, tm T, c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 	l0 := s.l0[c]
 	if w0, ok := l0.Lookup(addr); ok {
 		if !write {
 			return DefaultL0Latency
 		}
-		return s.writeHitL0(c, vmID, addr, w0)
+		return writeHitL0TM(s, tm, c, vmID, addr, w0)
 	}
 
 	l1 := s.l1[c]
@@ -86,10 +179,10 @@ func (s *System) access(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 			return DefaultL1Latency
 		default:
 			// Shared: coherence upgrade through the home node.
-			st := &s.vms[vmID].Stats
+			st := tm.stats(s, vmID)
 			st.Upgrades++
 			now := s.now
-			done, e := s.invalidateOthers(now, c, addr, st)
+			done, e := invalidateOthersTM(s, tm, now, c, addr, st)
 			e.L1Owner = int8(c)
 			e.L2Owner = int8(s.groupOf(c))
 			l1.SetState(w1, cache.Modified)
@@ -103,19 +196,19 @@ func (s *System) access(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 
 	// Miss in the last level of private cache: the paper's miss-latency
 	// metric starts here.
-	st := &s.vms[vmID].Stats
+	st := tm.stats(s, vmID)
 	st.PrivMisses++
 	now := s.now
-	done := s.fetch(c, vmID, addr, write)
+	done := fetchTM(s, tm, c, vmID, addr, write)
 	st.MissLatSum += done - now
 	return done - now
 }
 
-// writeHitL0 services a store that hit in L0: the line is resident in L1
-// too (inclusion is asserted here, off the read path), and the L1 state
-// decides whether the store is silent, a silent E->M upgrade, or a
+// writeHitL0TM services a store that hit in L0: the line is resident in
+// L1 too (inclusion is asserted here, off the read path), and the L1
+// state decides whether the store is silent, a silent E->M upgrade, or a
 // coherence upgrade through the home node.
-func (s *System) writeHitL0(c, vmID int, addr sim.Addr, w0 cache.Way) sim.Cycle {
+func writeHitL0TM[T timingModel](s *System, tm T, c, vmID int, addr sim.Addr, w0 cache.Way) sim.Cycle {
 	l0, l1 := s.l0[c], s.l1[c]
 	w1, ok := l1.Probe(addr)
 	if !ok {
@@ -138,10 +231,10 @@ func (s *System) writeHitL0(c, vmID int, addr sim.Addr, w0 cache.Way) sim.Cycle 
 		return DefaultL0Latency
 	default:
 		// Shared: coherence upgrade through the home node.
-		st := &s.vms[vmID].Stats
+		st := tm.stats(s, vmID)
 		st.Upgrades++
 		now := s.now
-		done, e := s.invalidateOthers(now, c, addr, st)
+		done, e := invalidateOthersTM(s, tm, now, c, addr, st)
 		e.L1Owner = int8(c)
 		e.L2Owner = int8(s.groupOf(c))
 		l1.SetState(w1, cache.Modified)
@@ -153,11 +246,11 @@ func (s *System) writeHitL0(c, vmID int, addr sim.Addr, w0 cache.Way) sim.Cycle 
 	}
 }
 
-// fetch services a private-level miss: probe the core's LLC bank group,
+// fetchTM services a private-level miss: probe the core's LLC bank group,
 // then the directory, then a remote cache or memory; fill the private
 // hierarchy on the way back. Returns the completion time.
-func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
-	st := &s.vms[vmID].Stats
+func fetchTM[T timingModel](s *System, tm T, c, vmID int, addr sim.Addr, write bool) sim.Cycle {
+	st := tm.stats(s, vmID)
 	vtag := uint8(vmID)
 	g := s.groupOf(c)
 	bank := s.banks[g]
@@ -168,7 +261,7 @@ func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 	// paper's machine does not charge NUCA distance within a group. The
 	// mesh carries directory, cache-to-cache, invalidation and memory
 	// traffic.
-	t := s.bankAccess(s.now, bnode)
+	t := tm.bankAccess(s, s.now, bnode)
 	bw, bHit := bank.Lookup(addr)
 	e := s.dir.Get(addr)
 
@@ -180,41 +273,41 @@ func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 			// A sibling's L1 holds the line dirty (the write path
 			// invalidates all other groups, so the owner is in-group).
 			// Bank forwards; the owner supplies and downgrades.
-			at := s.route(t, bnode, o, CtrlFlits)
+			at := tm.route(s, t, bnode, o, CtrlFlits)
 			at += DefaultL1Latency
 			s.downgradeOwner(o, addr, e)
-			t = s.route(at, o, c, DataFlits)
+			t = tm.route(s, at, o, c, DataFlits)
 			st.C2CDirty++
 		}
 	} else {
 		// LLC miss for this VM.
 		st.LLCMisses++
 		home := s.dir.Home(addr)
-		dirT := s.route(t, bnode, home, CtrlFlits)
-		dirT, dirHit := s.dirVisit(dirT, home, addr)
+		dirT := tm.route(s, t, bnode, home, CtrlFlits)
+		dirT, dirHit := tm.dirVisit(s, dirT, home, addr)
 		// On-chip suppliers stall behind an uncached directory entry's
 		// DRAM fetch; the memory path reads state and data together.
 		onChipDirT := dirT
 		if !dirHit {
-			onChipDirT += s.cfg.Mem.Latency
+			onChipDirT += tm.memPenalty(s)
 		}
 
 		switch {
 		case e.L1Owner >= 0:
 			// Dirty in a remote core's private cache; forward to owner.
 			o := int(e.L1Owner)
-			at := s.route(onChipDirT, home, o, CtrlFlits)
+			at := tm.route(s, onChipDirT, home, o, CtrlFlits)
 			at += DefaultL1Latency
 			s.downgradeOwner(o, addr, e)
-			t = s.route(at, o, c, DataFlits)
+			t = tm.route(s, at, o, c, DataFlits)
 			st.C2CDirty++
 		case e.L2Owner >= 0:
 			// Dirty in a remote bank: supplier keeps the line Owned and
 			// forwards data (Origin-style dirty sharing).
 			b := int(e.L2Owner)
 			sn := s.bankNode(b, addr)
-			at := s.route(onChipDirT, home, sn, CtrlFlits)
-			at = s.bankAccess(at, sn)
+			at := tm.route(s, onChipDirT, home, sn, CtrlFlits)
+			at = tm.bankAccess(s, at, sn)
 			sw, ok := s.banks[b].Probe(addr)
 			if !ok {
 				panic(fmt.Sprintf("core: directory owner bank %d lost %#x", b, addr))
@@ -222,23 +315,23 @@ func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 			if s.banks[b].State(sw) == cache.Modified {
 				s.banks[b].SetState(sw, cache.Owned)
 			}
-			t = s.route(at, sn, c, DataFlits)
+			t = tm.route(s, at, sn, c, DataFlits)
 			st.C2CDirty++
 		case e.L2Count() > 0:
 			// Clean copy in some remote bank.
 			b := e.OtherL2(g)
 			sn := s.bankNode(b, addr)
-			at := s.route(onChipDirT, home, sn, CtrlFlits)
-			at = s.bankAccess(at, sn)
-			t = s.route(at, sn, c, DataFlits)
+			at := tm.route(s, onChipDirT, home, sn, CtrlFlits)
+			at = tm.bankAccess(s, at, sn)
+			t = tm.route(s, at, sn, c, DataFlits)
 			st.C2CClean++
 		default:
 			// Off-chip.
 			st.MemReads++
 			mn := s.mem.Node(addr)
-			at := s.route(dirT, home, mn, CtrlFlits)
-			at = s.mem.Read(at, addr)
-			t = s.route(at, mn, c, DataFlits)
+			at := tm.route(s, dirT, home, mn, CtrlFlits)
+			at = tm.memRead(s, at, addr)
+			t = tm.route(s, at, mn, c, DataFlits)
 		}
 
 		// Install in the local bank.
@@ -251,7 +344,7 @@ func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 		if evicted {
 			// The victim's release may backward-shift addr's own slot;
 			// only then is a re-fetch of e needed.
-			s.evictBankLine(g, victim)
+			evictBankLineTM(s, tm, g, victim)
 			e = s.dir.Get(addr)
 		}
 		e.AddL2(g)
@@ -260,7 +353,7 @@ func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 	// Exclusivity for writes: invalidate every other copy (sequential
 	// with the data fetch — a mild pessimism).
 	if write && (e.L2Count() > 1 || e.L1Sharers != 0) {
-		t, e = s.invalidateOthers(t, c, addr, st)
+		t, e = invalidateOthersTM(s, tm, t, c, addr, st)
 	}
 
 	// Fill the private hierarchy. A second sharer demotes any Exclusive
@@ -287,18 +380,18 @@ func (s *System) fetch(c, vmID int, addr sim.Addr, write bool) sim.Cycle {
 	return t
 }
 
-// invalidateOthers visits the home node for addr and invalidates every
+// invalidateOthersTM visits the home node for addr and invalidates every
 // private and bank copy other than requester c's own, waiting for the
 // slowest ack. It clears line ownership; the caller establishes the new
 // owner. It returns the directory entry alongside the ack time: nothing
 // here reshapes the table, so callers use it directly instead of paying
 // another hash walk.
-func (s *System) invalidateOthers(at sim.Cycle, c int, addr sim.Addr, st *vm.Stats) (sim.Cycle, *coherence.Entry) {
+func invalidateOthersTM[T timingModel](s *System, tm T, at sim.Cycle, c int, addr sim.Addr, st *vm.Stats) (sim.Cycle, *coherence.Entry) {
 	home := s.dir.Home(addr)
-	t := s.route(at, c, home, CtrlFlits)
-	t, dirHit := s.dirVisit(t, home, addr)
+	t := tm.route(s, at, c, home, CtrlFlits)
+	t, dirHit := tm.dirVisit(s, t, home, addr)
 	if !dirHit {
-		t += s.cfg.Mem.Latency
+		t += tm.memPenalty(s)
 	}
 
 	g := s.groupOf(c)
@@ -309,9 +402,9 @@ func (s *System) invalidateOthers(at sim.Cycle, c int, addr sim.Addr, st *vm.Sta
 	// matching the core-index order of the scan this replaced).
 	for m := e.L1Sharers &^ (1 << uint(c)); m != 0; m &= m - 1 {
 		o := bits.TrailingZeros64(m)
-		a := s.route(t, home, o, CtrlFlits)
+		a := tm.route(s, t, home, o, CtrlFlits)
 		s.dropPrivate(o, addr, e)
-		a = s.route(a, o, c, CtrlFlits)
+		a = tm.route(s, a, o, c, CtrlFlits)
 		ackT = sim.Max(ackT, a)
 		st.Invalidations++
 	}
@@ -319,19 +412,19 @@ func (s *System) invalidateOthers(at sim.Cycle, c int, addr sim.Addr, st *vm.Sta
 	for m := e.L2Sharers &^ (1 << uint(g)); m != 0; m &= m - 1 {
 		b := bits.TrailingZeros64(m)
 		node := s.bankNode(b, addr)
-		a := s.route(t, home, node, CtrlFlits)
+		a := tm.route(s, t, home, node, CtrlFlits)
 		if bl, ok := s.banks[b].Invalidate(addr); ok && bl.State.Dirty() {
 			// The invalidated copy was the dirty owner; retire it.
-			s.mem.Writeback(a, addr)
+			tm.writeback(s, a, addr)
 		}
 		e.DropL2(b)
-		a = s.route(a, node, c, CtrlFlits)
+		a = tm.route(s, a, node, c, CtrlFlits)
 		ackT = sim.Max(ackT, a)
 		st.Invalidations++
 	}
 	if ackT == t {
 		// No sharers: home simply acks.
-		ackT = s.route(t, home, c, CtrlFlits)
+		ackT = tm.route(s, t, home, c, CtrlFlits)
 	}
 	e.L1Owner = -1
 	e.L2Owner = -1
@@ -404,10 +497,10 @@ func (s *System) evictPrivateVictim(c int, victim cache.Line) {
 	s.dir.ReleaseSlot(si)
 }
 
-// evictBankLine handles an LLC bank eviction: back-invalidate private
+// evictBankLineTM handles an LLC bank eviction: back-invalidate private
 // copies in the group (inclusion), write back dirty data, update the
 // directory.
-func (s *System) evictBankLine(g int, victim cache.Line) {
+func evictBankLineTM[T timingModel](s *System, tm T, g int, victim cache.Line) {
 	addr := victim.Tag
 	dirty := victim.State.Dirty()
 	si, ok := s.dir.ProbeSlot(addr)
@@ -426,7 +519,7 @@ func (s *System) evictBankLine(g int, victim cache.Line) {
 		e.DropL2(g)
 	}
 	if dirty {
-		s.mem.Writeback(s.now, addr)
+		tm.writeback(s, s.now, addr)
 	}
 	if ok {
 		s.dir.ReleaseSlot(si)

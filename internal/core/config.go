@@ -138,6 +138,14 @@ type Config struct {
 	// one of sim.ValidShardCounts and divide Cores.
 	Shards int
 
+	// Sample enables interval-sampled simulation: detailed measurement
+	// windows with functional fast-forward between them and early stop on
+	// per-VM CI convergence (see sample.go). The zero value runs the full
+	// detailed measurement, bit-identical to builds without the engine.
+	// Incompatible with dynamic rebalancing, over-commitment and mid-run
+	// snapshots.
+	Sample SampleConfig
+
 	// Obs attaches the observability hooks (metric shard, tracer lane,
 	// progress) the run publishes through; nil runs unobserved. The
 	// hot-path publish cadence keeps the steady-state loop
@@ -232,6 +240,9 @@ func (c Config) Validate() error {
 	}
 	if c.MeasureRefs == 0 {
 		return fmt.Errorf("core: zero measurement budget")
+	}
+	if err := c.validateSample(); err != nil {
+		return err
 	}
 	for _, w := range c.Workloads {
 		if err := w.Validate(); err != nil {

@@ -109,6 +109,11 @@ type Result struct {
 	// the sequential engine. Host-side provenance like WallSeconds — the
 	// shard count never changes simulated results.
 	Shard ShardStats
+
+	// Sample reports the interval-sampling engine's activity; zero for a
+	// detailed run. Unlike Shard this IS simulation-visible provenance:
+	// sampled metrics are estimates whose achieved CI it records.
+	Sample SampleStats
 }
 
 // ManifestFor stamps a run manifest from a finished result: what was
@@ -151,6 +156,13 @@ func ManifestFor(cfg Config, res Result, parallel int) obs.Manifest {
 		ShardThinkBatches: res.Shard.ThinkBatches,
 		ShardStalls:       res.Shard.Stalls,
 		ShardStallSeconds: res.Shard.StallSeconds,
+
+		SampleWindows:      res.Sample.Windows,
+		SampleWindowRefs:   cfg.Sample.WindowRefs,
+		SampleDetailedRefs: res.Sample.DetailedRefs,
+		SampleSkippedRefs:  res.Sample.SkippedRefs,
+		SampleRelCI:        res.Sample.AchievedRelCI,
+		SampleStopReason:   res.Sample.StopReason,
 	}
 }
 

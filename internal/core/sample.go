@@ -1,0 +1,252 @@
+// Interval-sampled simulation.
+//
+// Detailed simulation of the full measurement budget is the figure
+// suite's dominant cost, yet the per-VM metrics it reports are means
+// over a (mostly stationary) reference stream: a fraction of the stream
+// measured in detail estimates them to within a quantifiable confidence
+// interval. The sampled mode (cfg.Sample) therefore alternates:
+//
+//   - detailed windows: the unmodified event loop — every reference pays
+//     mesh, bank, directory and memory-controller contention, advances
+//     simulated time and accumulates measurement counters;
+//   - functional fast-forward: references stream through the same access
+//     walk under ffTiming (access.go), so caches, the directory and the
+//     directory caches keep evolving — but no contention state, no
+//     event-queue cycles and no measurement counters move, and simulated
+//     time stands still.
+//
+// After each window the engine folds that window's per-VM miss rate and
+// cycles-per-transaction into incremental Welford accumulators
+// (internal/stats) and stops early once every metric's relative 95% CI
+// half-width is below cfg.Sample.CITarget — the live convergence
+// detection of Pac-Sim (PAPERS.md), driving the same counters the obs
+// registry publishes. Because fast-forward consumes references from the
+// same refSource abstraction as the detailed loop and draws no think
+// times in either engine, sampled runs are deterministic for a fixed
+// (seed, window-config) pair at every -shards count.
+//
+// Result.Cycles remains the sum of detailed window spans (fast-forward
+// takes zero simulated time), so every downstream metric formula —
+// cycles-per-transaction, miss rates over detailed refs, latency means —
+// is unchanged; only the estimator's variance is new, and SampleStats
+// records exactly how much was skipped and how converged the estimate
+// was.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"consim/internal/stats"
+	"consim/internal/vm"
+)
+
+// SampleConfig enables and parameterizes interval sampling. The zero
+// value (WindowRefs == 0) disables it: runs are detailed end to end and
+// bit-identical to a build without the sampling engine.
+type SampleConfig struct {
+	// WindowRefs is the detailed-window length in per-core references;
+	// non-zero enables sampling.
+	WindowRefs uint64 `json:"window_refs,omitempty"`
+	// FFRatio is the functional fast-forward length between windows, as
+	// a multiple of WindowRefs (default 4: 20% of the stream detailed).
+	FFRatio int `json:"ff_ratio,omitempty"`
+	// CITarget is the convergence goal: the run stops once every per-VM
+	// metric's relative 95% CI half-width is at or below it (default
+	// 0.05).
+	CITarget float64 `json:"ci_target,omitempty"`
+	// MinWindows is the smallest window count convergence may stop at
+	// (default 4; floor 2 — a single window has no variance estimate).
+	MinWindows int `json:"min_windows,omitempty"`
+	// MaxRefs bounds detailed measurement references per core; reaching
+	// it stops the run whether or not the CIs converged (default
+	// MeasureRefs).
+	MaxRefs uint64 `json:"max_refs,omitempty"`
+}
+
+// Enabled reports whether sampling is on.
+func (sc SampleConfig) Enabled() bool { return sc.WindowRefs > 0 }
+
+// withDefaults fills unset knobs (NewSystem applies this before the
+// config is stored, so results and manifests record effective values).
+func (sc SampleConfig) withDefaults(measureRefs uint64) SampleConfig {
+	if !sc.Enabled() {
+		return SampleConfig{}
+	}
+	if sc.FFRatio <= 0 {
+		sc.FFRatio = 4
+	}
+	if sc.CITarget <= 0 {
+		sc.CITarget = 0.05
+	}
+	if sc.MinWindows < 2 {
+		sc.MinWindows = 4
+	}
+	if sc.MaxRefs == 0 || sc.MaxRefs > measureRefs {
+		sc.MaxRefs = measureRefs
+	}
+	return sc
+}
+
+// Sampling stop reasons.
+const (
+	StopConverged = "converged"
+	StopBudget    = "budget"
+)
+
+// SampleStats reports what the sampling engine did during a run; all
+// fields are zero for a detailed (unsampled) run.
+type SampleStats struct {
+	// Windows is the number of detailed windows simulated.
+	Windows int `json:"windows,omitempty"`
+	// DetailedRefs and SkippedRefs count per-core references measured in
+	// detail and fast-forwarded between windows, in the same units as
+	// Config.MeasureRefs (multiply by active cores for machine totals).
+	DetailedRefs uint64 `json:"detailed_refs,omitempty"`
+	SkippedRefs  uint64 `json:"skipped_refs,omitempty"`
+	// AchievedRelCI is the worst (largest) per-VM relative 95% CI
+	// half-width over both tracked metrics at stop.
+	AchievedRelCI float64 `json:"achieved_rel_ci,omitempty"`
+	// StopReason is StopConverged or StopBudget.
+	StopReason string `json:"stop_reason,omitempty"`
+}
+
+// validateSample rejects configurations the sampling engine cannot run
+// soundly: fast-forward holds simulated time still, so features keyed to
+// cycle counts (timeslice rotation, dynamic rebalancing) or to an
+// intra-window snapshot position would silently measure something else.
+func (c Config) validateSample() error {
+	if !c.Sample.Enabled() {
+		return nil
+	}
+	if c.RebalanceCycles > 0 {
+		return fmt.Errorf("core: sampling is incompatible with dynamic rebalancing (RebalanceCycles)")
+	}
+	if c.TotalThreads() > c.Cores {
+		return fmt.Errorf("core: sampling is incompatible with over-committed scheduling")
+	}
+	if c.SnapshotRefs > 0 {
+		return fmt.Errorf("core: sampling is incompatible with a mid-run snapshot (SnapshotRefs)")
+	}
+	if c.Sample.FFRatio < 0 {
+		return fmt.Errorf("core: negative fast-forward ratio %d", c.Sample.FFRatio)
+	}
+	if c.Sample.CITarget < 0 {
+		return fmt.Errorf("core: negative CI target %g", c.Sample.CITarget)
+	}
+	return nil
+}
+
+// runSampled is the sampled measurement phase: detailed windows with
+// functional fast-forward between them, stopping on CI convergence or
+// the detailed-reference budget. The caller has already run warm-up and
+// reset measurement counters.
+func (s *System) runSampled(lane int) {
+	sc := s.cfg.Sample
+	nVM := len(s.vms)
+	// Per-VM, per-metric incremental accumulators and last-window counter
+	// bases. One allocation set per run, nothing per reference.
+	missW := make([]stats.Welford, nVM)
+	cptW := make([]stats.Welford, nVM)
+	prevRefs := make([]uint64, nVM)
+	prevLLC := make([]uint64, nVM)
+	refsPerTx := make([]float64, nVM)
+	for v, m := range s.vms {
+		refsPerTx[v] = float64(m.Gen.Spec().RefsPerTx)
+	}
+
+	target := s.cfg.WarmupRefs
+	for {
+		windowStart := s.now
+		target += sc.WindowRefs
+		endW := s.phase(lane, "window")
+		s.runUntil(target)
+		endW()
+		s.sample.Windows++
+		s.sample.DetailedRefs += sc.WindowRefs
+		span := float64(s.now - windowStart)
+
+		// Fold this window's per-VM metrics into the accumulators.
+		for v, m := range s.vms {
+			dRefs := m.Stats.Refs - prevRefs[v]
+			dLLC := m.Stats.LLCMisses - prevLLC[v]
+			prevRefs[v] = m.Stats.Refs
+			prevLLC[v] = m.Stats.LLCMisses
+			if dRefs == 0 {
+				continue // VM idle this window (no scheduled threads)
+			}
+			missW[v].Add(float64(dLLC) / float64(dRefs))
+			cptW[v].Add(span * refsPerTx[v] / float64(dRefs))
+		}
+
+		// Convergence: every tracked metric's relative CI at or below
+		// target once enough windows accumulated.
+		worst := 0.0
+		for v := range s.vms {
+			if ci := missW[v].RelCI95(); ci > worst {
+				worst = ci
+			}
+			if ci := cptW[v].RelCI95(); ci > worst {
+				worst = ci
+			}
+		}
+		s.sample.AchievedRelCI = worst
+		if s.hooks != nil {
+			s.publishLive()
+			s.hooks.SetSampleProgress(uint64(s.sample.Windows), s.sample.DetailedRefs,
+				s.sample.SkippedRefs, worst)
+		}
+		if s.sample.Windows >= sc.MinWindows && worst <= sc.CITarget {
+			s.sample.StopReason = StopConverged
+			return
+		}
+		if s.sample.DetailedRefs >= sc.MaxRefs {
+			s.sample.StopReason = StopBudget
+			return
+		}
+
+		endFF := s.phase(lane, "fastforward")
+		s.fastForward(sc.WindowRefs * uint64(sc.FFRatio))
+		endFF()
+	}
+}
+
+// fastForward streams perCore references per active core through the
+// functional plane: the same refSource supplies them (keeping the
+// sharded engine's prefill protocol live and bit-identical), the access
+// walk runs under ffTiming, and nothing timing-visible moves — no event
+// queue, no simulated time, no think-time draws, no measurement
+// counters. References rotate round-robin across cores; with sampling
+// validated against over-commitment each core carries exactly one
+// runnable, so the rotation covers every thread exactly like the
+// detailed loop's reference budget does.
+func (s *System) fastForward(perCore uint64) {
+	start := time.Now()
+	if s.ffStats == nil {
+		s.ffStats = make([]vm.Stats, len(s.vms))
+	}
+	if s.shard != nil {
+		ffLoop(s, perCore, shardSource{s.shard})
+	} else {
+		ffLoop(s, perCore, liveSource{})
+	}
+	s.sample.SkippedRefs += perCore
+	s.simSeconds += time.Since(start).Seconds()
+}
+
+// ffLoop is fastForward's monomorphized engine-agnostic loop.
+func ffLoop[S refSource](s *System, perCore uint64, src S) {
+	for i := uint64(0); i < perCore; i++ {
+		for c := range s.cores {
+			cs := &s.cores[c]
+			if !cs.active {
+				continue
+			}
+			run := cs.queue[cs.cur]
+			m := s.vms[run.vmID]
+			acc := src.next(s, run)
+			m.Touch(acc.Block)
+			accessTM(s, ffTiming{}, c, run.vmID, m.AddrOf(acc.Block), acc.Write)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"consim/internal/obs"
+	"consim/internal/sched"
+	"consim/internal/sim"
+	"consim/internal/workload"
+)
+
+// sampledCfg is the standard small sampled configuration the tests run:
+// the 4-VM consolidated machine at test scale with a window geometry
+// small enough to exercise several window/fast-forward alternations.
+func sampledCfg(shards int) Config {
+	cfg := fastCfg(4, sched.Affinity, workload.TPCW, workload.SPECjbb, workload.TPCH, workload.SPECweb)
+	cfg.WarmupRefs = 10_000
+	cfg.MeasureRefs = 100_000
+	cfg.Shards = shards
+	cfg.Sample = SampleConfig{WindowRefs: 2_000, FFRatio: 3, CITarget: 0.05, MinWindows: 3, MaxRefs: 12_000}
+	return cfg
+}
+
+// resultDigest serializes everything simulation-visible about a result
+// (excluding host-side provenance like wall time and shard activity).
+func resultDigest(t *testing.T, res Result) string {
+	t.Helper()
+	d := struct {
+		Cycles                                              sim.Cycle
+		VMs                                                 []VMResult
+		Sample                                              SampleStats
+		NetAvgWait, NetAvgHops, MemAvgWait, DirCacheHitRate float64
+		Switches                                            uint64
+	}{res.Cycles, res.VMs, res.Sample, res.NetAvgWait, res.NetAvgHops,
+		res.MemAvgWait, res.DirCacheHitRate, res.Switches}
+	buf, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestSampledDeterministicAcrossShards pins the sampling engine's
+// determinism contract: for a fixed (seed, window-config) pair the
+// sampled result — window count, skip totals, achieved CI and every
+// metric — is identical at every shard count, exactly like detailed
+// runs. Fast-forward consumes references through the same refSource as
+// the detailed loop and draws no think times, so the worker protocol
+// stays aligned.
+func TestSampledDeterministicAcrossShards(t *testing.T) {
+	var want string
+	for _, shards := range []int{1, 2, 4} {
+		res := mustRun(t, sampledCfg(shards))
+		if res.Sample.Windows < 3 || res.Sample.SkippedRefs == 0 {
+			t.Fatalf("shards=%d: sampling did not engage: %+v", shards, res.Sample)
+		}
+		got := resultDigest(t, res)
+		if want == "" {
+			want = got
+			t.Logf("shards=1 sample: %+v", res.Sample)
+			continue
+		}
+		if got != want {
+			t.Errorf("shards=%d sampled result diverged from shards=1", shards)
+		}
+	}
+}
+
+// TestSampledRunRepeatable pins run-to-run determinism: the same sampled
+// configuration produces byte-identical results on every execution.
+func TestSampledRunRepeatable(t *testing.T) {
+	a := resultDigest(t, mustRun(t, sampledCfg(1)))
+	b := resultDigest(t, mustRun(t, sampledCfg(1)))
+	if a != b {
+		t.Fatal("sampled run is not repeatable for a fixed seed and window config")
+	}
+}
+
+// TestSampleConfigDefaults checks the knob defaulting and the zero
+// value's pass-through (a disabled config must stay exactly zero so
+// detailed runs are bit-identical to builds without the engine).
+func TestSampleConfigDefaults(t *testing.T) {
+	if got := (SampleConfig{}).withDefaults(1000); got != (SampleConfig{}) {
+		t.Errorf("disabled config gained defaults: %+v", got)
+	}
+	got := SampleConfig{WindowRefs: 500}.withDefaults(10_000)
+	want := SampleConfig{WindowRefs: 500, FFRatio: 4, CITarget: 0.05, MinWindows: 4, MaxRefs: 10_000}
+	if got != want {
+		t.Errorf("defaults = %+v, want %+v", got, want)
+	}
+	if got := (SampleConfig{WindowRefs: 500, MaxRefs: 99_999}).withDefaults(10_000); got.MaxRefs != 10_000 {
+		t.Errorf("MaxRefs not clamped to measure budget: %d", got.MaxRefs)
+	}
+}
+
+// TestSampleValidation checks that configurations the engine cannot run
+// soundly are rejected up front.
+func TestSampleValidation(t *testing.T) {
+	base := sampledCfg(1)
+	for name, mutate := range map[string]func(*Config){
+		"rebalance": func(c *Config) { c.RebalanceCycles = 10_000 },
+		"snapshot":  func(c *Config) { c.SnapshotRefs = 1_000 },
+		"overcommit": func(c *Config) {
+			specs := workload.Specs()
+			for i := 0; i < 5; i++ {
+				c.Workloads = append(c.Workloads, specs[workload.TPCH])
+			}
+		},
+	} {
+		cfg := base
+		cfg.Workloads = append([]workload.Spec(nil), base.Workloads...)
+		mutate(&cfg)
+		if _, err := NewSystem(cfg); err == nil {
+			t.Errorf("%s: sampled config accepted, want validation error", name)
+		}
+	}
+}
+
+// timingSnapshot captures every piece of state the fast-forward phase
+// must not move: simulated time, the event queue, contention state
+// (banks, directories, memory controllers, mesh), hypervisor activity,
+// per-core reference counters and the per-VM measurement counters.
+// Directory-cache hit/miss totals are deliberately absent — fast-forward
+// keeps the directory caches functionally warm, so those whole-run
+// cumulative counters advance by design (exactly as they do in warm-up).
+type timingSnapshot struct {
+	Now        sim.Cycle
+	QLen       int
+	BankBusy   []sim.Cycle
+	DirBusy    []sim.Cycle
+	MemReads   uint64
+	MemWBs     uint64
+	MemWait    sim.Cycle
+	NetWait    float64
+	NetHops    float64
+	Switches   uint64
+	GlobalRefs uint64
+	CoreRefs   []uint64
+	VMStats    []string
+}
+
+func snapshotTiming(t *testing.T, s *System) timingSnapshot {
+	t.Helper()
+	snap := timingSnapshot{
+		Now:        s.now,
+		QLen:       s.q.Len(),
+		BankBusy:   append([]sim.Cycle(nil), s.bankBusy...),
+		DirBusy:    append([]sim.Cycle(nil), s.dirBusy...),
+		MemReads:   s.mem.Reads,
+		MemWBs:     s.mem.Writebacks,
+		MemWait:    s.mem.WaitSum,
+		NetWait:    s.net.AvgWait(),
+		NetHops:    s.net.AvgHops(),
+		Switches:   s.Switches,
+		GlobalRefs: s.globalRefs,
+	}
+	for c := range s.cores {
+		snap.CoreRefs = append(snap.CoreRefs, s.cores[c].refs)
+	}
+	for _, m := range s.vms {
+		buf, err := json.Marshal(m.Stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap.VMStats = append(snap.VMStats, string(buf))
+	}
+	return snap
+}
+
+// newWarmSystem builds a system, seeds the event queue the way Run()
+// does, and executes the warm-up phase.
+func newWarmSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range sys.cores {
+		if sys.cores[c].active {
+			sys.q.Push(0, c)
+			sys.pending[c] = true
+		}
+	}
+	if sys.shard != nil {
+		sys.shard.start(sys)
+		t.Cleanup(sys.shard.stop)
+	}
+	sys.runUntil(cfg.WarmupRefs)
+	return sys
+}
+
+// TestFastForwardNoTimingLeak drives fast-forward directly between two
+// timing snapshots and requires byte-for-byte equality: functional
+// warming may touch caches and directories, but nothing visible to the
+// timing model — simulated time, queued events, contention occupancy,
+// memory-controller and mesh counters, scheduler state, per-core
+// reference budgets, measurement counters — may move.
+func TestFastForwardNoTimingLeak(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		cfg := sampledCfg(shards)
+		sys := newWarmSystem(t, cfg)
+
+		before := snapshotTiming(t, sys)
+		sys.fastForward(10_000)
+		after := snapshotTiming(t, sys)
+		after.Now = before.Now // compared explicitly below
+
+		if sys.now != before.Now {
+			t.Errorf("shards=%d: fast-forward advanced simulated time %d -> %d", shards, before.Now, sys.now)
+		}
+		bb, _ := json.Marshal(before)
+		ab, _ := json.Marshal(after)
+		if string(bb) != string(ab) {
+			t.Errorf("shards=%d: fast-forward leaked into timing state:\nbefore %s\nafter  %s", shards, bb, ab)
+		}
+		if sys.sample.SkippedRefs != 10_000 {
+			t.Errorf("shards=%d: SkippedRefs = %d, want 10000", shards, sys.sample.SkippedRefs)
+		}
+	}
+}
+
+// TestSampledSteadyStateAllocBudget holds both sampled phases to the
+// same steady-state allocation budget as the detailed engine: once warm,
+// a window + fast-forward round trip must not allocate per reference.
+func TestSampledSteadyStateAllocBudget(t *testing.T) {
+	cfg := sampledCfg(1)
+	cfg.Obs = obs.NewObserver(nil, nil, nil).Hooks()
+	sys := newWarmSystem(t, cfg)
+
+	// One untimed round trip lets lazily-grown structures (directory
+	// tables, event-queue capacity) reach their working size.
+	sys.fastForward(6_000)
+	sys.runUntil(cfg.WarmupRefs + 2_000)
+
+	const ffRefs, winRefs = 20_000, 4_000
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sys.fastForward(ffRefs)
+	sys.runUntil(cfg.WarmupRefs + 2_000 + winRefs)
+	runtime.ReadMemStats(&after)
+
+	measuredRefs := uint64((ffRefs + winRefs) * len(sys.cores))
+	allocs := after.Mallocs - before.Mallocs
+	perRef := float64(allocs) / float64(measuredRefs)
+	t.Logf("sampled steady state: %d allocs over %d refs (%.6f allocs/ref, %d bytes)",
+		allocs, measuredRefs, perRef, after.TotalAlloc-before.TotalAlloc)
+	if perRef > 0.001 {
+		t.Fatalf("sampled path allocates: %.6f allocs/ref (budget 0.001)", perRef)
+	}
+}
+
+// FuzzFastForwardBoundary fuzzes the window/fast-forward boundary: for
+// arbitrary window geometries the engine must terminate with a coherent
+// stop reason, never leak fast-forwarded references into measurement
+// counters, and remain deterministic (two runs of the same fuzzed
+// geometry agree byte for byte).
+func FuzzFastForwardBoundary(f *testing.F) {
+	f.Add(uint16(2000), uint8(3), uint16(8000))
+	f.Add(uint16(1), uint8(1), uint16(1))
+	f.Add(uint16(5000), uint8(0), uint16(60000))
+	f.Add(uint16(100), uint8(9), uint16(300))
+	f.Fuzz(func(t *testing.T, window uint16, ratio uint8, maxRefs uint16) {
+		if window == 0 {
+			t.Skip()
+		}
+		cfg := fastCfg(4, sched.Affinity, workload.TPCW, workload.SPECjbb, workload.TPCH, workload.SPECweb)
+		cfg.WarmupRefs = 3_000
+		cfg.MeasureRefs = 30_000
+		cfg.Sample = SampleConfig{
+			WindowRefs: uint64(window),
+			// Bound the ratio so one fuzz iteration stays sub-second; the
+			// boundary logic is identical at every ratio.
+			FFRatio:    int(ratio%10) + 1,
+			CITarget:   0.02, // strict: most fuzz runs stop on budget
+			MinWindows: 3,
+			MaxRefs:    uint64(maxRefs),
+		}
+		var sys *System
+		run := func() Result {
+			var err error
+			sys, err = NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		res := run()
+		sa := res.Sample
+		if sa.Windows < 1 {
+			t.Fatalf("no windows ran: %+v", sa)
+		}
+		if sa.StopReason != StopConverged && sa.StopReason != StopBudget {
+			t.Fatalf("bad stop reason: %+v", sa)
+		}
+		if sa.DetailedRefs != uint64(sa.Windows)*cfg.Sample.WindowRefs {
+			t.Fatalf("detailed refs %d != windows %d x window %d", sa.DetailedRefs, sa.Windows, cfg.Sample.WindowRefs)
+		}
+		// Per-core measurement counters must cover exactly warm-up plus the
+		// detailed windows — fast-forwarded references never count.
+		effMax := cfg.Sample.withDefaults(cfg.MeasureRefs).MaxRefs
+		if sa.StopReason == StopBudget && sa.DetailedRefs < effMax {
+			t.Fatalf("budget stop below budget: %+v (max %d)", sa, effMax)
+		}
+		// Every active core must have issued at least warm-up plus the
+		// detailed windows through the timing loop — fast-forwarded
+		// references never advance the per-core budget counters, so any
+		// shortfall means a window leaked into the functional plane.
+		for c := range sys.cores {
+			if !sys.cores[c].active {
+				continue
+			}
+			if want := cfg.WarmupRefs + sa.DetailedRefs; sys.cores[c].refs < want {
+				t.Fatalf("core %d issued %d detailed refs, want >= %d (%+v)",
+					c, sys.cores[c].refs, want, sa)
+			}
+		}
+		digest1 := resultDigestF(t, res)
+		digest2 := resultDigestF(t, run())
+		if digest1 != digest2 {
+			t.Fatal("fuzzed sampled run is not deterministic")
+		}
+	})
+}
+
+// resultDigestF is resultDigest for fuzz targets (testing.TB).
+func resultDigestF(t testing.TB, res Result) string {
+	t.Helper()
+	buf, err := json.Marshal(struct {
+		Cycles sim.Cycle
+		VMs    []VMResult
+		Sample SampleStats
+	}{res.Cycles, res.VMs, res.Sample})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}

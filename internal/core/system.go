@@ -57,7 +57,7 @@ type System struct {
 	vms        []*vm.VM
 	cores      []coreState
 	assignment [][]int
-	thinkOf    []uint64 // per-VM 2*mean+1 think-time draw range
+	thinkOf    []uint64           // per-VM 2*mean+1 think-time draw range
 	regions    []workload.Regions // per-VM footprint classifier (hot-loop cache)
 
 	// Switches counts hypervisor timeslice rotations (over-commit mode).
@@ -99,6 +99,14 @@ type System struct {
 	// the sequential loop. See shard.go for why the workers carry only
 	// functional work and results stay bit-identical.
 	shard *shardEngine
+
+	// sample accumulates the interval-sampling engine's provenance
+	// (cfg.Sample enabled); ffStats is the per-VM scratch counter sink
+	// fast-forwarded references write into so the measurement counters in
+	// vm.Stats only ever see detailed-window work. Allocated lazily on
+	// first fast-forward — detailed runs pay nothing. See sample.go.
+	sample  SampleStats
+	ffStats []vm.Stats
 }
 
 // pubTotals snapshots the per-VM counter sums at the last live publish.
@@ -138,6 +146,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.PipeStages == 0 {
 		cfg.PipeStages = DefaultPipeStages
 	}
+	cfg.Sample = cfg.Sample.withDefaults(cfg.MeasureRefs)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -185,7 +194,6 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s.assignment = asg
-
 	s.thinkOf = make([]uint64, len(cfg.Workloads))
 	for v := range cfg.Workloads {
 		s.thinkOf[v] = uint64(2*cfg.Workloads[v].ThinkCycles) + 1
@@ -426,22 +434,32 @@ func (s *System) Run() (Result, error) {
 	s.net.ResetStats()
 	s.mem.ResetStats()
 
-	// Measurement phase, with an optional mid-run snapshot.
+	// Measurement phase, with an optional mid-run snapshot. The sampled
+	// mode replaces the single detailed stretch with windows and
+	// fast-forward; its snapshot is always end-of-measurement (intra-
+	// window positions are rejected by validation).
 	endPhase = s.phase(lane, "measure")
 	var snap Snapshot
-	snapTaken := false
-	if s.cfg.SnapshotRefs > 0 && s.cfg.SnapshotRefs < s.cfg.MeasureRefs {
-		s.runUntil(s.cfg.WarmupRefs + s.cfg.SnapshotRefs)
+	if s.cfg.Sample.Enabled() {
+		s.runSampled(lane)
 		endSnap := s.phase(lane, "snapshot")
 		snap = s.takeSnapshot()
 		endSnap()
-		snapTaken = true
-	}
-	s.runUntil(s.cfg.WarmupRefs + s.cfg.MeasureRefs)
-	if !snapTaken {
-		endSnap := s.phase(lane, "snapshot")
-		snap = s.takeSnapshot()
-		endSnap()
+	} else {
+		snapTaken := false
+		if s.cfg.SnapshotRefs > 0 && s.cfg.SnapshotRefs < s.cfg.MeasureRefs {
+			s.runUntil(s.cfg.WarmupRefs + s.cfg.SnapshotRefs)
+			endSnap := s.phase(lane, "snapshot")
+			snap = s.takeSnapshot()
+			endSnap()
+			snapTaken = true
+		}
+		s.runUntil(s.cfg.WarmupRefs + s.cfg.MeasureRefs)
+		if !snapTaken {
+			endSnap := s.phase(lane, "snapshot")
+			snap = s.takeSnapshot()
+			endSnap()
+		}
 	}
 	endPhase()
 	window := s.now - measureStart
@@ -462,6 +480,7 @@ func (s *System) Run() (Result, error) {
 		Config:          s.cfg,
 		Cycles:          window,
 		Shard:           s.shardStats(),
+		Sample:          s.sample,
 		Snapshot:        snap,
 		NetAvgWait:      s.net.AvgWait(),
 		NetAvgHops:      s.net.AvgHops(),

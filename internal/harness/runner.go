@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,16 @@ type Options struct {
 	// bit-identical at any shard count. Configs that already set their
 	// own Shards keep it.
 	Shards int
+	// Sample enables interval-sampled simulation inside every compatible
+	// simulation the runner executes (core.Config.Sample): detailed
+	// measurement windows with functional fast-forward between them and
+	// CI-convergence early stop. Sampled results are estimates — run
+	// manifests record the achieved confidence interval. Configs that are
+	// incompatible with sampling (dynamic rebalancing, over-committed
+	// scheduling, mid-run snapshots) quietly run fully detailed, so a
+	// sampled sweep can still include the ablation rows that need exact
+	// semantics. Configs that already set their own Sample keep it.
+	Sample core.SampleConfig
 	// Replicates runs each configuration this many times with perturbed
 	// seeds and reports merged metrics, per the Alameldeen-Wood
 	// statistical simulation methodology the paper's §V adopts (0/1 =
@@ -99,6 +110,13 @@ type Runner struct {
 	inflight map[runKey]*call
 
 	sims atomic.Uint64 // simulations actually executed (not deduplicated)
+
+	// worstRelCIBits holds the largest achieved relative CI over every
+	// sampled simulation this runner executed, as math.Float64bits (the
+	// value is non-negative, so bit order matches numeric order and a
+	// compare-and-swap max loop works on the raw bits). Zero when no
+	// sampled run executed.
+	worstRelCIBits atomic.Uint64
 }
 
 // NewRunner returns a Runner with the given options.
@@ -235,13 +253,51 @@ func (r *Runner) simulate(cfg core.Config) (core.Result, error) {
 	if cfg.Shards == 0 {
 		cfg.Shards = r.opt.Shards
 	}
+	if !cfg.Sample.Enabled() && r.opt.Sample.Enabled() && sampleCompatible(cfg) {
+		cfg.Sample = r.opt.Sample
+	}
 	r.sims.Add(1)
 	r.opt.Obs.CountSim()
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return core.Result{}, err
 	}
-	return sys.Run()
+	res, err := sys.Run()
+	if err == nil && res.Sample.Windows > 0 {
+		r.noteRelCI(res.Sample.AchievedRelCI)
+	}
+	return res, err
+}
+
+// noteRelCI folds one sampled run's achieved CI into the runner-wide
+// maximum (lock-free CAS max on the float's bits).
+func (r *Runner) noteRelCI(ci float64) {
+	if ci <= 0 || math.IsInf(ci, 1) || math.IsNaN(ci) {
+		return
+	}
+	bits := math.Float64bits(ci)
+	for {
+		old := r.worstRelCIBits.Load()
+		if old >= bits || r.worstRelCIBits.CompareAndSwap(old, bits) {
+			return
+		}
+	}
+}
+
+// WorstSampleRelCI returns the largest achieved relative 95% CI over
+// every sampled simulation this runner executed (0 when none ran
+// sampled). It is the honest error bound to quote for any figure built
+// from the runner's results.
+func (r *Runner) WorstSampleRelCI() float64 {
+	return math.Float64frombits(r.worstRelCIBits.Load())
+}
+
+// sampleCompatible reports whether a configuration may be sampled: the
+// same predicate core.Config.Validate enforces for explicitly sampled
+// configs, applied here as a quiet filter so a runner-wide Sample option
+// skips (rather than fails) the rows that need exact semantics.
+func sampleCompatible(cfg core.Config) bool {
+	return cfg.RebalanceCycles == 0 && cfg.SnapshotRefs == 0 && cfg.TotalThreads() <= cfg.Cores
 }
 
 // runConfigs executes a batch of non-memoized configurations (ablation

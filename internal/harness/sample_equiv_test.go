@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"testing"
+
+	"consim/internal/core"
+	"consim/internal/sched"
+	"consim/internal/workload"
+)
+
+// equivCfg is the consolidated 4-VM machine at test scale used by the
+// statistical-equivalence checks.
+func equivCfg(seed uint64) core.Config {
+	specs := workload.Specs()
+	cfg := core.DefaultConfig(specs[workload.TPCW], specs[workload.SPECjbb],
+		specs[workload.TPCH], specs[workload.SPECweb])
+	cfg.Scale = 16
+	cfg.GroupSize = 4
+	cfg.Policy = sched.Affinity
+	cfg.Seed = seed
+	cfg.WarmupRefs = 20_000
+	cfg.MeasureRefs = 200_000
+	return cfg
+}
+
+// equivSampleConfig is the sampling geometry the equivalence suite runs:
+// enough windows for a stable variance estimate, a quarter of the
+// detailed budget measured.
+func equivSampleConfig() core.SampleConfig {
+	return core.SampleConfig{
+		WindowRefs: 5_000,
+		FFRatio:    3,
+		CITarget:   0.10,
+		MinWindows: 4,
+		MaxRefs:    50_000,
+	}
+}
+
+// TestSampledEquivalence is the statistical-accuracy gate: for several
+// seeds, a sampled run's per-VM LLC miss rate and cycles-per-transaction
+// must agree with the fully detailed run of the same configuration to
+// within the CI-derived bound the sampling engine itself declares
+// (RunComparison.Bound = 2 x the worse of the CI target and the achieved
+// CI). A violation is deterministic for a fixed seed — it means the
+// estimator or its confidence accounting broke, not that the test got
+// unlucky.
+func TestSampledEquivalence(t *testing.T) {
+	seeds := []uint64{1, 7, 13}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		cmp, err := CompareSampledRun(equivCfg(seed), equivSampleConfig())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sa := cmp.Sampled.Sample
+		if sa.Windows < 4 || sa.SkippedRefs == 0 {
+			t.Fatalf("seed %d: sampling did not engage: %+v", seed, sa)
+		}
+		t.Logf("seed %d: windows=%d detailed=%d skipped=%d achievedCI=%.3f (%s) maxRelErr=%.3f bound=%.3f",
+			seed, sa.Windows, sa.DetailedRefs, sa.SkippedRefs, sa.AchievedRelCI,
+			sa.StopReason, cmp.MaxRelErr, cmp.Bound)
+		for _, d := range cmp.Deltas {
+			t.Logf("  vm%-2d %-8s missErr=%.3f cptErr=%.3f", d.VM, d.Name, d.Miss, d.Cpt)
+		}
+		if !cmp.Within() {
+			t.Errorf("seed %d: per-VM deviation %.3f exceeds declared bound %.3f",
+				seed, cmp.MaxRelErr, cmp.Bound)
+		}
+	}
+}
+
+// TestRunnerSampleOption checks the runner-wide Sample option: it
+// defaults into compatible configurations, leaves explicitly sampled
+// configs alone, skips sampling-incompatible rows instead of failing,
+// and records the worst achieved CI for bound reporting.
+func TestRunnerSampleOption(t *testing.T) {
+	r := NewRunner(Options{
+		Scale:       16,
+		WarmupRefs:  5_000,
+		MeasureRefs: 50_000,
+		Seed:        1,
+		Sample: core.SampleConfig{
+			WindowRefs: 2_000, FFRatio: 3, CITarget: 0.10, MinWindows: 3, MaxRefs: 10_000,
+		},
+	})
+
+	cfg := equivCfg(1)
+	cfg.WarmupRefs, cfg.MeasureRefs = 5_000, 50_000
+	res, err := r.simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sample.Windows == 0 {
+		t.Error("runner Sample option did not reach a compatible config")
+	}
+	if ci := r.WorstSampleRelCI(); ci <= 0 {
+		t.Errorf("WorstSampleRelCI = %g after a sampled run", ci)
+	}
+
+	// An over-committed configuration (more threads than cores) cannot be
+	// sampled; the runner must fall back to a detailed run, not error.
+	over := cfg
+	specs := workload.Specs()
+	for i := 0; i < 2; i++ {
+		over.Workloads = append(over.Workloads, specs[workload.TPCH])
+	}
+	over.TimesliceCycles = 200_000
+	res, err = r.simulate(over)
+	if err != nil {
+		t.Fatalf("over-committed config under runner-wide sampling: %v", err)
+	}
+	if res.Sample.Windows != 0 {
+		t.Error("over-committed config was sampled; it must stay detailed")
+	}
+}
+
+// TestCompareTables pins the per-cell comparison semantics: relative
+// errors are taken against each cell, small cells are judged against
+// the 5%-of-max floor, and shape mismatches are rejected.
+func TestCompareTables(t *testing.T) {
+	full := &Table{ID: "X", Columns: []string{"a", "b"}}
+	full.Add("r1", 10.0, 0.001)
+	full.Add("r2", 8.0, 4.0)
+	samp := &Table{ID: "X", Columns: []string{"a", "b"}}
+	samp.Add("r1", 10.5, 0.201)
+	samp.Add("r2", 8.0, 4.0)
+
+	worst, cell, err := CompareTables(full, samp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell r1/b deviates by 0.2 against a floor of 0.05*10 = 0.5 -> 40%;
+	// r1/a deviates 5%. The floored cell must win.
+	if cell != "r1/b" || worst < 0.39 || worst > 0.41 {
+		t.Errorf("worst = %.3f at %q, want ~0.40 at r1/b", worst, cell)
+	}
+
+	short := &Table{ID: "X", Columns: []string{"a", "b"}}
+	short.Add("r1", 1.0, 2.0)
+	if _, _, err := CompareTables(full, short); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}

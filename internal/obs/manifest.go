@@ -53,6 +53,18 @@ type Manifest struct {
 	ShardThinkBatches uint64  `json:"shard_think_batches,omitempty"`
 	ShardStalls       uint64  `json:"shard_stalls,omitempty"`
 	ShardStallSeconds float64 `json:"shard_stall_seconds,omitempty"`
+
+	// Interval-sampling provenance: window geometry, how much of the
+	// stream was measured in detail vs fast-forwarded, the worst per-VM
+	// relative 95% CI half-width at stop, and why the run stopped
+	// ("converged" or "budget"). Absent for detailed runs — a sampled
+	// number can always be told from an exact one by these fields.
+	SampleWindows      int     `json:"sample_windows,omitempty"`
+	SampleWindowRefs   uint64  `json:"sample_window_refs,omitempty"`
+	SampleDetailedRefs uint64  `json:"sample_detailed_refs,omitempty"`
+	SampleSkippedRefs  uint64  `json:"sample_skipped_refs,omitempty"`
+	SampleRelCI        float64 `json:"sample_rel_ci,omitempty"`
+	SampleStopReason   string  `json:"sample_stop_reason,omitempty"`
 }
 
 // ManifestWriter appends manifest lines to a JSONL file. Safe for

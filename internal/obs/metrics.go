@@ -260,6 +260,11 @@ type SimMetrics struct {
 	// Sharded intra-run engine (zero / idle under the sequential engine).
 	ShardWorkers, ShardPrefills, ShardSyncFills ID
 	ShardThinkBatches, ShardStalls              ID
+	// Interval-sampling engine (zero / idle under detailed runs). The
+	// relative CI is published in parts-per-million so the integer slot
+	// carries the convergence signal losslessly enough for live display.
+	SampleWindows, SampleDetailedRefs ID
+	SampleSkippedRefs, SampleRelCIPPM ID
 	// Runner bookkeeping.
 	Sims, Jobs ID
 }
@@ -294,6 +299,11 @@ func RegisterSimMetrics(reg *Registry) *SimMetrics {
 		ShardSyncFills:    reg.GaugeID("shard_sync_fills", "reference batches filled inline on the spine"),
 		ShardThinkBatches: reg.GaugeID("shard_think_batches", "think-time batches adopted from workers"),
 		ShardStalls:       reg.GaugeID("shard_stalls", "batch adoptions that waited on an unready worker"),
+
+		SampleWindows:      reg.GaugeID("sample_windows", "detailed windows simulated (0 = detailed run)"),
+		SampleDetailedRefs: reg.GaugeID("sample_detailed_refs", "per-core references measured in detail"),
+		SampleSkippedRefs:  reg.GaugeID("sample_skipped_refs", "references fast-forwarded functionally"),
+		SampleRelCIPPM:     reg.GaugeID("sample_rel_ci_ppm", "worst per-VM relative 95% CI half-width, parts per million"),
 	}
 	levels := [3]string{"l0", "l1", "llc"}
 	for i, lv := range levels {

@@ -225,6 +225,21 @@ func (h *RunHooks) SetShardProgress(prefills, syncFills, thinkBatches, stalls ui
 	sh.Set(m.ShardStalls, stalls)
 }
 
+// SetSampleProgress publishes the interval-sampling engine's window and
+// coverage totals plus the live convergence signal (worst per-VM
+// relative CI, scaled to parts per million), once per detailed window.
+func (h *RunHooks) SetSampleProgress(windows, detailedRefs, skippedRefs uint64, relCI float64) {
+	sh, m := h.Sh, h.M
+	sh.Set(m.SampleWindows, windows)
+	sh.Set(m.SampleDetailedRefs, detailedRefs)
+	sh.Set(m.SampleSkippedRefs, skippedRefs)
+	ppm := relCI * 1e6
+	if ppm < 0 || ppm > 1e12 { // clamp +Inf (unconverged zero-mean metric)
+		ppm = 1e12
+	}
+	sh.Set(m.SampleRelCIPPM, uint64(ppm))
+}
+
 // SetSharing publishes the LLC replication snapshot counts.
 func (h *RunHooks) SetSharing(resident, replicated int) {
 	h.Sh.Set(h.M.LLCResident, uint64(resident))

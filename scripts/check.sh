@@ -34,6 +34,15 @@ echo "== sharded engine smoke =="
 # parallel engine's central determinism claim).
 go test -run 'TestGoldenResults' ./internal/core -shards 2
 
+echo "== sampled engine smoke =="
+# Interval sampling must engage (the provenance line appears), stay
+# deterministic across shard counts, and leave detailed runs untouched
+# (golden fixtures above already pin the -sample-off path bit-for-bit).
+go test -run 'TestSampledDeterministicAcrossShards|TestFastForwardNoTimingLeak' ./internal/core
+go run ./cmd/consim -workloads TPC-H -scale 16 -warm 2000 -meas 20000 \
+	-sample 1000 -sample-ci 0.2 | grep -q "sampled:" \
+	|| { echo "check.sh: sampled run produced no provenance line" >&2; exit 1; }
+
 echo "== bench regression gate =="
 # Throughput-only bench run compared against the committed baseline:
 # fails on a >10% refs/sec regression or any allocs/ref growth.
