@@ -30,6 +30,8 @@ func main() {
 	)
 	var sflags consim.SampleFlags
 	sflags.Register(flag.CommandLine)
+	var pflags consim.PdesFlags
+	pflags.Register(flag.CommandLine)
 	var ocli obs.CLI
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
@@ -52,9 +54,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ablate:", err)
 		os.Exit(1)
 	}
+	if err := pflags.CheckExclusive(*shards, sflags.Config()); err != nil {
+		ostop() //nolint:errcheck // the primary error wins
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
+	}
 	r := consim.NewRunner(consim.RunnerOptions{
 		Scale: *scale, WarmupRefs: *warm, MeasureRefs: *meas, Seed: *seed,
-		Parallel: *parallel, Shards: *shards, Sample: sflags.Config(), Obs: o,
+		Parallel: *parallel, Shards: *shards, Sample: sflags.Config(),
+		Pdes: pflags.Workers(), PdesWindow: pflags.Window(), Obs: o,
 	})
 	for _, id := range ids {
 		start := time.Now()

@@ -78,6 +78,13 @@ type Report struct {
 	// declared CI-derived error bound.
 	SampleSweep *SampleSweepReport `json:"sample_sweep,omitempty"`
 
+	// PdesSweep records the split-transaction parallel engine's scaling
+	// section (-pdessweep): the throughput configuration at each worker
+	// count, with speedup over the sweep's sequential reference and
+	// per-point accuracy against it. Points are recorded only when every
+	// per-VM deviation stays inside the equivalence bound.
+	PdesSweep *PdesSweepReport `json:"pdes_sweep,omitempty"`
+
 	// Figure suite wall times (seconds), at the benchmark scale.
 	FigureParallel int                `json:"figure_parallel,omitempty"`
 	FigureSeconds  map[string]float64 `json:"figure_seconds,omitempty"`
@@ -125,6 +132,38 @@ type SampleSweepReport struct {
 	Pass      bool    `json:"pass"`        // MaxRelErr <= Bound
 }
 
+// PdesSweepReport is the -pdessweep section: the window width used, the
+// equivalence bound the points were gated on, one point per swept
+// worker count, and whether every point passed. Speedups are honest
+// wall-clock ratios under the recorded gomaxprocs — on a single-CPU
+// host they sit below 1 (the engine's coordination overhead), and the
+// curve is the artifact that documents that.
+type PdesSweepReport struct {
+	WindowCycles uint64      `json:"window_cycles"`
+	Bound        float64     `json:"bound"`
+	Points       []PdesPoint `json:"points"`
+	Pass         bool        `json:"pass"`
+}
+
+// PdesPoint is one worker count's measurement (best wall time over the
+// iteration count). MaxRelErr is the worst per-VM deviation from the
+// sweep's sequential reference on LLC miss rate and cycles per
+// transaction; StallFraction is spine wall time spent waiting on worker
+// domains at barriers and ApplyFraction wall time in the serial barrier
+// replay — the engine's Amdahl terms.
+type PdesPoint struct {
+	Workers       int     `json:"workers"`
+	Domains       int     `json:"domains,omitempty"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	RefsPerSec    float64 `json:"refs_per_sec"`
+	Speedup       float64 `json:"speedup"`
+	StallFraction float64 `json:"stall_fraction,omitempty"`
+	ApplyFraction float64 `json:"apply_fraction,omitempty"`
+	Windows       uint64  `json:"windows,omitempty"`
+	Ops           uint64  `json:"ops,omitempty"`
+	MaxRelErr     float64 `json:"max_rel_err"`
+}
+
 // peakSys returns the high-water mark of memory obtained from the OS.
 func peakSys(prev uint64) uint64 {
 	var ms runtime.MemStats
@@ -170,6 +209,8 @@ func run() (err error) {
 		ssmeas   = flag.Uint64("samplesweep-meas", 1_000_000, "samplesweep detailed measurement references per core")
 		sswindow = flag.Uint64("samplesweep-window", 5_000, "samplesweep detailed-window length")
 		ssmax    = flag.Uint64("samplesweep-maxrefs", 40_000, "samplesweep per-core detailed-reference budget")
+		psweep   = flag.String("pdessweep", "", "comma-separated pdes worker counts for the parallel-engine scaling section, e.g. 1,2,4,8 (empty = skip)")
+		pswindow = flag.Uint64("pdessweep-window", 0, "pdessweep window width in cycles (0 = engine default)")
 		figures  = flag.String("figures", "T2,F2,F12", "comma-separated figure IDs to time (empty = skip)")
 		out      = flag.String("out", "BENCH_consim.json", "report history path; each run appends a record (- = print this run to stdout)")
 		baseline = flag.String("baseline", "", "committed report to gate against (newest record); exit non-zero on >10% refs_per_sec regression or any allocs_per_ref growth")
@@ -259,6 +300,13 @@ func run() (err error) {
 
 	if s := strings.TrimSpace(*sweep); s != "" {
 		if rep.ShardScaling, err = shardScaling(s, *scale, *warm, *meas, *iters); err != nil {
+			return err
+		}
+		rep.PeakRSSBytes = peakSys(rep.PeakRSSBytes)
+	}
+
+	if s := strings.TrimSpace(*psweep); s != "" {
+		if rep.PdesSweep, err = pdesSweep(s, *scale, *warm, *meas, *iters, *pswindow); err != nil {
 			return err
 		}
 		rep.PeakRSSBytes = peakSys(rep.PeakRSSBytes)
@@ -378,6 +426,123 @@ func shardScaling(list string, scale int, warm, meas uint64, iters int) ([]Shard
 			n, p.WallSeconds, p.Speedup, 100*p.StallFraction)
 	}
 	return points, nil
+}
+
+// pdesSweep runs the throughput configuration sequentially once as the
+// reference, then once per requested worker count under the
+// split-transaction parallel engine (best of iters wall times each).
+// Every parallel point's per-VM LLC miss rate and cycles per
+// transaction are checked against the sequential reference; a deviation
+// beyond the equivalence bound is an error — the engine's accuracy
+// contract is deterministic for a fixed (seed, workers, window) triple,
+// so a violation is a real defect, not noise. Speedups are relative to
+// the sequential reference under the report's recorded gomaxprocs.
+func pdesSweep(list string, scale int, warm, meas uint64, iters int, window uint64) (*PdesSweepReport, error) {
+	rep := &PdesSweepReport{Bound: consim.DefaultPdesBound, Pass: true}
+
+	runBest := func(workers int) (consim.Result, float64, error) {
+		cfg := benchCfg(scale, warm, meas, 1)
+		if workers > 1 {
+			cfg.Pdes = workers
+			cfg.PdesWindow = consim.Cycle(window)
+		}
+		var best consim.Result
+		bestWall := 0.0
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			res, err := consim.Run(cfg)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return best, 0, err
+			}
+			if bestWall == 0 || wall < bestWall {
+				bestWall, best = wall, res
+			}
+		}
+		return best, bestWall, nil
+	}
+
+	ref, baseWall, err := runBest(1)
+	if err != nil {
+		return nil, err
+	}
+	point := func(workers int, res consim.Result, wall float64) PdesPoint {
+		var refs uint64
+		for _, v := range res.VMs {
+			refs += v.Stats.Refs
+		}
+		p := PdesPoint{
+			Workers:     workers,
+			Domains:     res.Pdes.Domains,
+			WallSeconds: wall,
+			RefsPerSec:  float64(refs) / wall,
+			Speedup:     baseWall / wall,
+			Windows:     res.Pdes.Windows,
+			Ops:         res.Pdes.Ops,
+		}
+		if wall > 0 {
+			p.StallFraction = res.Pdes.StallSeconds / wall
+			p.ApplyFraction = res.Pdes.ApplySeconds / wall
+		}
+		for v := range res.VMs {
+			if ref.VMs[v].Stats.Refs == 0 {
+				continue
+			}
+			miss := relErr(res.VMs[v].MissRate(), ref.VMs[v].MissRate())
+			cpt := relErr(res.VMs[v].CyclesPerTx, ref.VMs[v].CyclesPerTx)
+			if miss > p.MaxRelErr {
+				p.MaxRelErr = miss
+			}
+			if cpt > p.MaxRelErr {
+				p.MaxRelErr = cpt
+			}
+		}
+		return p
+	}
+
+	for _, part := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -pdessweep entry %q", part)
+		}
+		res, wall := ref, baseWall
+		if n > 1 {
+			if res, wall, err = runBest(n); err != nil {
+				return nil, err
+			}
+		}
+		p := point(n, res, wall)
+		if rep.WindowCycles == 0 && res.Pdes.Window > 0 {
+			rep.WindowCycles = uint64(res.Pdes.Window)
+		}
+		rep.Points = append(rep.Points, p)
+		fmt.Fprintf(os.Stderr, "[pdes %d: %.3fs, %.2fx, stall %.1f%%, apply %.1f%%, err %.1f%%]\n",
+			n, p.WallSeconds, p.Speedup, 100*p.StallFraction, 100*p.ApplyFraction, 100*p.MaxRelErr)
+		if p.MaxRelErr > rep.Bound {
+			rep.Pass = false
+			return rep, fmt.Errorf("pdessweep: workers=%d deviation %.3f exceeds equivalence bound %.3f", n, p.MaxRelErr, rep.Bound)
+		}
+	}
+	return rep, nil
+}
+
+// relErr returns |got-want|/|want|; an exact match of a zero reference
+// is 0, any deviation from zero is 1.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	if want < 0 {
+		want = -want
+	}
+	return d / want
 }
 
 // sampleSweep builds each listed figure twice — fully detailed and

@@ -27,6 +27,8 @@ func main() {
 	shards := flag.Int("shards", 1, consim.ShardsFlagUsage)
 	var sflags consim.SampleFlags
 	sflags.Register(flag.CommandLine)
+	var pflags consim.PdesFlags
+	pflags.Register(flag.CommandLine)
 	var ocli obs.CLI
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
@@ -39,6 +41,10 @@ func main() {
 	defer ostop() //nolint:errcheck // diagnostics-only sinks
 
 	if err := consim.ValidateShards(*shards); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := pflags.CheckExclusive(*shards, sflags.Config()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -58,6 +64,7 @@ func main() {
 		cfg.MeasureRefs = *meas
 		cfg.Shards = *shards
 		cfg.Sample = sflags.Config()
+		pflags.Apply(&cfg) //nolint:errcheck // pair consistency checked above
 		return cfg
 	}
 	for _, spec := range workload.Specs() {

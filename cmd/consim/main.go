@@ -3,7 +3,10 @@
 // with more than one, the sweep's simulations run concurrently (bounded
 // by -parallel) and the reports print in list order. -shards parallelizes
 // each simulation internally with bit-identical results — use it for a
-// single long run, and -parallel when sweeping many.
+// single long run, and -parallel when sweeping many. -pdes runs one
+// simulation's active cores in parallel domains with windowed
+// cross-domain coherence: faster on multi-core hosts, but metrics
+// become equivalence-gated estimates (deterministic per seed).
 //
 // Examples:
 //
@@ -12,6 +15,7 @@
 //	consim -workloads TPC-W,TPC-W,SPECjbb,SPECjbb -policy rr
 //	consim -mix 8 -group 1,4,16 -parallel 3
 //	consim -mix 5 -shards 4
+//	consim -mix 5 -pdes 4
 package main
 
 import (
@@ -89,6 +93,10 @@ func printResult(res consim.Result, regions, snapshot bool) {
 		fmt.Printf("sampled: %d windows, %d refs/core detailed, %d fast-forwarded (%s; rel 95%% CI %.3f) — metrics are estimates\n",
 			sa.Windows, sa.DetailedRefs, sa.SkippedRefs, sa.StopReason, sa.AchievedRelCI)
 	}
+	if ps := res.Pdes; ps.Workers > 1 {
+		fmt.Printf("parallel: %d domains (of %d workers), %d windows of %d cycles, %d replayed ops — metrics are estimates\n",
+			ps.Domains, ps.Workers, ps.Windows, ps.Window, ps.Ops)
+	}
 	fmt.Printf("%-4s %-8s %12s %10s %10s %8s %8s %8s %8s\n",
 		"vm", "workload", "refs", "cyc/tx", "missRate", "missLat", "c2c", "c2cDirty", "memReads")
 	for _, v := range res.VMs {
@@ -161,6 +169,8 @@ func run() (err error) {
 	)
 	var sflags consim.SampleFlags
 	sflags.Register(flag.CommandLine)
+	var pflags consim.PdesFlags
+	pflags.Register(flag.CommandLine)
 	var ocli obs.CLI
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
@@ -218,6 +228,9 @@ func run() (err error) {
 		cfg.MeasureRefs = *meas
 		cfg.Shards = *shards
 		cfg.Sample = sflags.Config()
+		if err := pflags.Apply(&cfg); err != nil {
+			return err
+		}
 		cfgs[i] = cfg
 	}
 

@@ -45,6 +45,8 @@ func run() (err error) {
 	)
 	var sflags consim.SampleFlags
 	sflags.Register(flag.CommandLine)
+	var pflags consim.PdesFlags
+	pflags.Register(flag.CommandLine)
 	var ocli obs.CLI
 	ocli.Register(flag.CommandLine)
 	flag.Parse()
@@ -73,6 +75,9 @@ func run() (err error) {
 	if err := consim.ValidateShards(*shards); err != nil {
 		return err
 	}
+	if err := pflags.CheckExclusive(*shards, sflags.Config()); err != nil {
+		return err
+	}
 	r := consim.NewRunner(consim.RunnerOptions{
 		Scale:       *scale,
 		Seed:        *seed,
@@ -81,6 +86,8 @@ func run() (err error) {
 		Parallel:    *parallel,
 		Shards:      *shards,
 		Sample:      sflags.Config(),
+		Pdes:        pflags.Workers(),
+		PdesWindow:  pflags.Window(),
 		Obs:         o,
 	})
 

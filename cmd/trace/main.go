@@ -118,9 +118,14 @@ func replay(args []string) error {
 	shards := fs.Int("shards", 1, consim.ShardsFlagUsage)
 	var sflags consim.SampleFlags
 	sflags.Register(fs)
+	var pflags consim.PdesFlags
+	pflags.Register(fs)
 	fs.Parse(args[1:])
 
 	if err := consim.ValidateShards(*shards); err != nil {
+		return err
+	}
+	if err := pflags.CheckExclusive(*shards, sflags.Config()); err != nil {
 		return err
 	}
 	rd, err := openTrace(args[0])
@@ -139,6 +144,11 @@ func replay(args []string) error {
 	cfg.MeasureRefs = *meas
 	cfg.Shards = *shards
 	cfg.Sample = sflags.Config()
+	// Replay always uses a trace source, which the parallel engine cannot
+	// run; Apply + Validate produce the descriptive refusal.
+	if err := pflags.Apply(&cfg); err != nil {
+		return err
+	}
 	cfg.Sources = []workload.Source{rd}
 
 	res, err := consim.Run(cfg)

@@ -25,6 +25,7 @@ package consim
 
 import (
 	"flag"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -37,6 +38,9 @@ import (
 
 // Core simulator types.
 type (
+	// Cycle is a simulated-time cycle count (Config.PdesWindow,
+	// Result.Cycles).
+	Cycle = sim.Cycle
 	// Config describes one simulation run; see DefaultConfig.
 	Config = core.Config
 	// System is a configured simulation instance.
@@ -57,19 +61,26 @@ type (
 	// SampleStats reports a sampled run's coverage and achieved
 	// confidence interval (Result.Sample); all-zero for detailed runs.
 	SampleStats = core.SampleStats
+	// PdesStats reports the split-transaction parallel engine's activity
+	// (Result.Pdes); all-zero for sequential runs.
+	PdesStats = core.PdesStats
 )
 
-// Canonical CLI help strings for the three speed knobs, shared by every
+// Canonical CLI help strings for the speed knobs, shared by every
 // command so the flags read identically across the toolset. -parallel
 // spreads independent simulations across CPUs and -shards splits one
 // simulation across worker lanes; neither ever changes results. -sample
-// trades exactness for speed: it estimates metrics from detailed windows
-// separated by functional fast-forward, with the achieved confidence
-// interval recorded in manifests.
+// and -pdes trade exactness for speed: -sample estimates metrics from
+// detailed windows separated by functional fast-forward (achieved
+// confidence interval recorded in manifests), -pdes runs active cores
+// in parallel domains with windowed cross-domain coherence (deviations
+// gated by the equivalence harness, deterministic per seed).
 const (
-	ParallelFlagUsage = "independent simulations to keep in flight at once (across-run parallelism; never changes results)"
-	ShardsFlagUsage   = "worker lanes inside each simulation: 1 = sequential engine, or 2/4/8/16 evenly dividing the core count; results are bit-identical at any value"
-	SampleFlagUsage   = "detailed-window length in per-core references; >0 enables interval-sampled simulation (approximate: metrics become CI-bounded estimates)"
+	ParallelFlagUsage   = "independent simulations to keep in flight at once (across-run parallelism; never changes results)"
+	ShardsFlagUsage     = "worker lanes inside each simulation: 1 = sequential engine, or 2/4/8/16 evenly dividing the core count; results are bit-identical at any value"
+	SampleFlagUsage     = "detailed-window length in per-core references; >0 enables interval-sampled simulation (approximate: metrics become CI-bounded estimates)"
+	PdesFlagUsage       = "split-transaction parallel engine domains inside each simulation: 0/1 = sequential engine, N>1 partitions active cores into N windowed domains (approximate: deviations gated by the equivalence harness)"
+	PdesWindowFlagUsage = "parallel engine window width in cycles (default 16384); wider windows amortize barriers at the price of staler cross-domain coherence"
 )
 
 // ValidateShards checks a -shards value against the default 16-core
@@ -112,6 +123,61 @@ func (sf *SampleFlags) Config() SampleConfig {
 		MinWindows: sf.minWindows,
 		MaxRefs:    sf.maxRefs,
 	}
+}
+
+// PdesFlags registers the split-transaction parallel engine's flag pair
+// on a CLI, so every command exposes the same two knobs with identical
+// help text.
+type PdesFlags struct {
+	workers int
+	window  uint64
+}
+
+// Register installs -pdes and -pdes-window on fs.
+func (pf *PdesFlags) Register(fs *flag.FlagSet) {
+	fs.IntVar(&pf.workers, "pdes", 0, PdesFlagUsage)
+	fs.Uint64Var(&pf.window, "pdes-window", 0, PdesWindowFlagUsage)
+}
+
+// Workers returns the -pdes value (0 when unset).
+func (pf *PdesFlags) Workers() int { return pf.workers }
+
+// Window returns the -pdes-window value as a cycle count.
+func (pf *PdesFlags) Window() sim.Cycle { return sim.Cycle(pf.window) }
+
+// Apply writes the flag pair into cfg, returning an error when the pair
+// is inconsistent (-pdes-window without -pdes).
+func (pf *PdesFlags) Apply(cfg *Config) error {
+	if pf.workers <= 1 {
+		if pf.window != 0 {
+			return fmt.Errorf("-pdes-window requires -pdes > 1")
+		}
+		return nil
+	}
+	cfg.Pdes = pf.workers
+	cfg.PdesWindow = sim.Cycle(pf.window)
+	return nil
+}
+
+// CheckExclusive rejects flag combinations that select two intra-run
+// engines at once. Every CLI calls it right after flag parsing so the
+// user sees one clear message instead of a per-config validation error
+// (or, under the runner's quiet compatibility filter, a silently
+// sequential run).
+func (pf *PdesFlags) CheckExclusive(shards int, sc SampleConfig) error {
+	if pf.workers <= 1 {
+		if pf.window != 0 {
+			return fmt.Errorf("-pdes-window requires -pdes > 1")
+		}
+		return nil
+	}
+	if shards > 1 {
+		return fmt.Errorf("-pdes and -shards are mutually exclusive engines")
+	}
+	if sc.Enabled() {
+		return fmt.Errorf("-pdes and -sample are mutually exclusive engines")
+	}
+	return nil
 }
 
 // Workload modeling types.
@@ -273,4 +339,23 @@ func CompareSampledRun(cfg Config, sc SampleConfig) (RunComparison, error) {
 // achieved CI across the sampled runs).
 func CompareSampledFigures(opt RunnerOptions, sc SampleConfig, ids []string) ([]FigureComparison, float64, error) {
 	return harness.CompareSampledFigures(opt, sc, ids)
+}
+
+// DefaultPdesBound is the fixed error budget split-transaction parallel
+// runs are judged against (harness.DefaultPdesBound).
+const DefaultPdesBound = harness.DefaultPdesBound
+
+// CompareParallelRun executes cfg sequentially and again under the
+// split-transaction parallel engine (workers domains, window cycles; 0
+// selects the default window), reporting per-VM metric deviations
+// against bound (<= 0 selects DefaultPdesBound).
+func CompareParallelRun(cfg Config, workers int, window sim.Cycle, bound float64) (RunComparison, error) {
+	return harness.CompareParallelRun(cfg, workers, window, bound)
+}
+
+// CompareParallelFigures builds the given figures twice — one
+// sequential runner, one under the parallel engine — and returns
+// per-figure comparisons plus the bound cells were judged against.
+func CompareParallelFigures(opt RunnerOptions, workers int, window sim.Cycle, bound float64, ids []string) ([]FigureComparison, float64, error) {
+	return harness.CompareParallelFigures(opt, workers, window, bound, ids)
 }

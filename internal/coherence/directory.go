@@ -416,6 +416,15 @@ func (dc *DirCache) Access(home int, addr sim.Addr) bool {
 	return false
 }
 
+// Peek reports whether home's directory cache currently holds addr
+// without touching replacement state, counters or contents — the
+// read-only probe the parallel engine's in-window latency estimator uses
+// against the frozen shared tier.
+func (dc *DirCache) Peek(home int, addr sim.Addr) bool {
+	_, ok := dc.per[home].Probe(addr)
+	return ok
+}
+
 // Accesses returns total lookups (hits + misses), for live gauges.
 func (dc *DirCache) Accesses() uint64 { return dc.Hits + dc.Misses }
 

@@ -146,6 +146,24 @@ type Config struct {
 	// snapshots.
 	Sample SampleConfig
 
+	// Pdes selects the split-transaction parallel discrete-event engine
+	// (pdes.go): 0 or 1 (the default) runs the sequential engine,
+	// bit-identical to builds without it; N > 1 partitions the active
+	// cores into up to N worker domains that advance independently inside
+	// bounded time windows, replaying cross-domain coherence at each
+	// window barrier. Unlike -shards this legitimately changes the
+	// simulated stream — results are statistical estimates gated by the
+	// equivalence harness (harness.CompareParallelRun), deterministic per
+	// (seed, Pdes, PdesWindow). Incompatible with Shards > 1, sampling,
+	// dynamic rebalancing, mid-run snapshots and trace sources.
+	Pdes int
+
+	// PdesWindow overrides the parallel engine's window width in cycles
+	// (default DefaultPdesWindow). Wider windows amortize barrier cost —
+	// more speedup — at the price of staler cross-domain coherence inside
+	// a window; the equivalence bound gates either way.
+	PdesWindow sim.Cycle
+
 	// Obs attaches the observability hooks (metric shard, tracer lane,
 	// progress) the run publishes through; nil runs unobserved. The
 	// hot-path publish cadence keeps the steady-state loop
@@ -242,6 +260,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: zero measurement budget")
 	}
 	if err := c.validateSample(); err != nil {
+		return err
+	}
+	if err := c.validatePdes(); err != nil {
 		return err
 	}
 	for _, w := range c.Workloads {

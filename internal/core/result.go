@@ -114,6 +114,12 @@ type Result struct {
 	// detailed run. Unlike Shard this IS simulation-visible provenance:
 	// sampled metrics are estimates whose achieved CI it records.
 	Sample SampleStats
+
+	// Pdes reports the split-transaction parallel engine's activity;
+	// zero for the sequential engine. Like Sample it is simulation-
+	// visible provenance: -pdes results are equivalence-gated estimates
+	// of the sequential run, deterministic per (seed, Pdes, PdesWindow).
+	Pdes PdesStats
 }
 
 // ManifestFor stamps a run manifest from a finished result: what was
@@ -163,6 +169,15 @@ func ManifestFor(cfg Config, res Result, parallel int) obs.Manifest {
 		SampleSkippedRefs:  res.Sample.SkippedRefs,
 		SampleRelCI:        res.Sample.AchievedRelCI,
 		SampleStopReason:   res.Sample.StopReason,
+
+		PdesWorkers:      res.Pdes.Workers,
+		PdesDomains:      res.Pdes.Domains,
+		PdesWindowCycles: uint64(res.Pdes.Window),
+		PdesWindows:      res.Pdes.Windows,
+		PdesOps:          res.Pdes.Ops,
+		PdesStalls:       res.Pdes.Stalls,
+		PdesStallSeconds: res.Pdes.StallSeconds,
+		PdesApplySeconds: res.Pdes.ApplySeconds,
 	}
 }
 

@@ -155,6 +155,7 @@ func (s *System) runSampled(lane int) {
 		refsPerTx[v] = float64(m.Gen.Spec().RefsPerTx)
 	}
 
+	prevCoreRefs := make([]uint64, len(s.cores))
 	target := s.cfg.WarmupRefs
 	for {
 		windowStart := s.now
@@ -165,6 +166,17 @@ func (s *System) runSampled(lane int) {
 		s.sample.Windows++
 		s.sample.DetailedRefs += sc.WindowRefs
 		span := float64(s.now - windowStart)
+
+		// Record each core's detailed-window reference rate so the next
+		// fast-forward preserves the VMs' relative progress (the shared
+		// window span makes refs-per-window proportional to refs-per-cycle).
+		if s.ffRate == nil {
+			s.ffRate = make([]uint64, len(s.cores))
+		}
+		for c := range s.cores {
+			s.ffRate[c] = s.cores[c].refs - prevCoreRefs[c]
+			prevCoreRefs[c] = s.cores[c].refs
+		}
 
 		// Fold this window's per-VM metrics into the accumulators.
 		for v, m := range s.vms {
@@ -225,28 +237,102 @@ func (s *System) fastForward(perCore uint64) {
 	if s.ffStats == nil {
 		s.ffStats = make([]vm.Stats, len(s.vms))
 	}
+	bud := s.ffBudgets(perCore)
 	if s.shard != nil {
-		ffLoop(s, perCore, shardSource{s.shard})
+		ffLoop(s, bud, shardSource{s.shard})
 	} else {
-		ffLoop(s, perCore, liveSource{})
+		ffLoop(s, bud, liveSource{})
 	}
 	s.sample.SkippedRefs += perCore
 	s.simSeconds += time.Since(start).Seconds()
 }
 
-// ffLoop is fastForward's monomorphized engine-agnostic loop.
-func ffLoop[S refSource](s *System, perCore uint64, src S) {
-	for i := uint64(0); i < perCore; i++ {
+// ffBudgets apportions the fast-forward budget (perCore references per
+// active core) across the active cores in proportion to each core's
+// reference count in the last detailed window. A uniform rotation biases
+// the skipped stream toward slow-CPI VMs — they receive the same share
+// fast-forwarded that they conspicuously failed to issue in detail — so
+// their footprint is over-warmed and fast VMs' under-warmed at window
+// entry. Proportional budgets preserve the VMs' relative progress
+// through the skipped stream. Uniform before the first detailed window
+// completes. Largest-remainder rounding keeps the total exact, with core
+// index breaking remainder ties deterministically.
+func (s *System) ffBudgets(perCore uint64) []uint64 {
+	if s.ffBudget == nil {
+		s.ffBudget = make([]uint64, len(s.cores))
+	}
+	bud := s.ffBudget
+	var nActive int
+	var sum uint64
+	for c := range s.cores {
+		bud[c] = 0
+		if s.cores[c].active {
+			nActive++
+			if s.ffRate != nil {
+				sum += s.ffRate[c]
+			}
+		}
+	}
+	if sum == 0 {
+		for c := range s.cores {
+			if s.cores[c].active {
+				bud[c] = perCore
+			}
+		}
+		return bud
+	}
+	total := perCore * uint64(nActive)
+	assigned := uint64(0)
+	for c := range s.cores {
+		if s.cores[c].active {
+			bud[c] = total * s.ffRate[c] / sum
+			assigned += bud[c]
+		}
+	}
+	var picked uint64 // the floor deficit is < nActive, so one bump per core suffices
+	for assigned < total {
+		best, bestRem := -1, uint64(0)
+		for c := range s.cores {
+			if !s.cores[c].active || picked&(1<<uint(c)) != 0 {
+				continue
+			}
+			if rem := total * s.ffRate[c] % sum; best < 0 || rem > bestRem {
+				best, bestRem = c, rem
+			}
+		}
+		picked |= 1 << uint(best)
+		bud[best]++
+		assigned++
+	}
+	return bud
+}
+
+// ffLoop is fastForward's monomorphized engine-agnostic loop: a
+// Bresenham interleave issues each core's budget spread evenly across
+// the longest budget's rounds, so cores advance through the skipped
+// stream at their proportional rates instead of in per-core bursts.
+// Uniform budgets degenerate to exactly one reference per core per
+// round — the rotation the detailed loop's reference budget implies.
+func ffLoop[S refSource](s *System, bud []uint64, src S) {
+	var rounds uint64
+	for c := range s.cores {
+		if s.cores[c].active && bud[c] > rounds {
+			rounds = bud[c]
+		}
+	}
+	for i := uint64(0); i < rounds; i++ {
 		for c := range s.cores {
 			cs := &s.cores[c]
 			if !cs.active {
 				continue
 			}
-			run := cs.queue[cs.cur]
-			m := s.vms[run.vmID]
-			acc := src.next(s, run)
-			m.Touch(acc.Block)
-			accessTM(s, ffTiming{}, c, run.vmID, m.AddrOf(acc.Block), acc.Write)
+			for k := (i+1)*bud[c]/rounds - i*bud[c]/rounds; k > 0; k-- {
+				run := cs.queue[cs.cur]
+				m := s.vms[run.vmID]
+				acc := src.next(s, run)
+				m.Touch(acc.Block)
+				accessTM(s, ffTiming{}, c, run.vmID, m.AddrOf(acc.Block), acc.Write)
+			}
 		}
 	}
 }

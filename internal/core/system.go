@@ -100,6 +100,11 @@ type System struct {
 	// functional work and results stay bit-identical.
 	shard *shardEngine
 
+	// pdes is the split-transaction parallel engine (cfg.Pdes > 1); nil
+	// runs the sequential loop. See pdes.go for the window protocol and
+	// why results are equivalence-gated rather than bit-identical.
+	pdes *pdesEngine
+
 	// sample accumulates the interval-sampling engine's provenance
 	// (cfg.Sample enabled); ffStats is the per-VM scratch counter sink
 	// fast-forwarded references write into so the measurement counters in
@@ -107,6 +112,13 @@ type System struct {
 	// first fast-forward — detailed runs pay nothing. See sample.go.
 	sample  SampleStats
 	ffStats []vm.Stats
+
+	// ffRate holds each core's reference count from the last detailed
+	// sampling window; fastForward apportions the skipped stream in
+	// proportion to it (CPI-proportional interleaving, see ffBudgets).
+	// Nil until the first detailed window completes — uniform until then.
+	ffRate   []uint64
+	ffBudget []uint64 // reusable apportionment scratch
 }
 
 // pubTotals snapshots the per-VM counter sums at the last live publish.
@@ -147,6 +159,9 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg.PipeStages = DefaultPipeStages
 	}
 	cfg.Sample = cfg.Sample.withDefaults(cfg.MeasureRefs)
+	if cfg.Pdes > 1 && cfg.PdesWindow == 0 {
+		cfg.PdesWindow = DefaultPdesWindow
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -227,6 +242,9 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.Shards > 1 {
 		s.shard = newShardEngine(s)
+	}
+	if cfg.Pdes > 1 {
+		s.pdes = newPdesEngine(s)
 	}
 	return s, nil
 }
@@ -400,11 +418,21 @@ func (s *System) Run() (Result, error) {
 		s.shard.start(s)
 		defer s.shard.stop()
 	}
-	// Seed the event queue with every active core.
-	for c := range s.cores {
-		if s.cores[c].active {
-			s.q.Push(0, c)
-			s.pending[c] = true
+	if s.pdes != nil {
+		if h != nil {
+			s.pdes.attachTracer(h.Tr)
+			h.SetPdes(s.pdes.stats.Workers, s.pdes.stats.Domains)
+		}
+		s.pdes.start()
+		defer s.pdes.stop()
+	} else {
+		// Seed the event queue with every active core. (The pdes engine
+		// seeds its per-domain calendars instead.)
+		for c := range s.cores {
+			if s.cores[c].active {
+				s.q.Push(0, c)
+				s.pending[c] = true
+			}
 		}
 	}
 
@@ -480,6 +508,7 @@ func (s *System) Run() (Result, error) {
 		Config:          s.cfg,
 		Cycles:          window,
 		Shard:           s.shardStats(),
+		Pdes:            s.pdesStats(),
 		Sample:          s.sample,
 		Snapshot:        snap,
 		NetAvgWait:      s.net.AvgWait(),
@@ -546,6 +575,10 @@ func (liveSource) think(s *System, c, vmID int) uint64 {
 // runLoop is runUntil's event loop, separated so the wall-clock
 // accounting wraps exactly the simulation work.
 func (s *System) runLoop(target uint64) {
+	if s.pdes != nil {
+		s.pdes.runUntil(target)
+		return
+	}
 	if s.shard != nil {
 		runLoopSrc(s, target, shardSource{s.shard})
 		return
@@ -694,6 +727,9 @@ func (s *System) publishLive() {
 	if e := s.shard; e != nil {
 		h.SetShardProgress(e.stats.Prefills, e.stats.SyncFills, e.stats.ThinkBatches, e.stats.Stalls)
 	}
+	if e := s.pdes; e != nil {
+		h.SetPdesProgress(e.stats.Windows, e.stats.Ops, e.stats.Stalls)
+	}
 }
 
 // shardStats returns the sharded engine's run accounting (zero value
@@ -703,6 +739,15 @@ func (s *System) shardStats() ShardStats {
 		return ShardStats{}
 	}
 	return s.shard.stats
+}
+
+// pdesStats returns the parallel engine's run accounting (zero value
+// for the sequential engine).
+func (s *System) pdesStats() PdesStats {
+	if s.pdes == nil {
+		return PdesStats{}
+	}
+	return s.pdes.stats
 }
 
 // switchCost returns the configured context-switch penalty.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"consim/internal/core"
+	"consim/internal/sim"
 )
 
 // Statistical equivalence of sampled and detailed simulation.
@@ -173,6 +174,106 @@ func CompareTables(full, sampled *Table) (float64, string, error) {
 		}
 	}
 	return worst, worstCell, nil
+}
+
+// DefaultPdesBound is the error budget parallel (pdes) runs are judged
+// against when the caller does not supply one: the worst per-VM
+// relative deviation on the tracked metrics must stay below it. The
+// parallel engine's error source is bounded cross-domain staleness (one
+// window), not sampling variance, so the bound is a fixed engineering
+// tolerance rather than a CI-derived quantity; measured deviations at
+// the default window sit under half of it across the workload classes.
+const DefaultPdesBound = 0.12
+
+// CompareParallelRun executes cfg sequentially and again under the
+// split-transaction parallel engine with the given worker count and
+// window (0 = default), and reports the per-VM metric deviations
+// against bound (<= 0 selects DefaultPdesBound). The comparison reuses
+// RunComparison: Full holds the sequential run, Sampled the parallel
+// one.
+func CompareParallelRun(cfg core.Config, workers int, window sim.Cycle, bound float64) (RunComparison, error) {
+	seqCfg := cfg
+	seqCfg.Pdes, seqCfg.PdesWindow = 0, 0
+	parCfg := cfg
+	parCfg.Pdes, parCfg.PdesWindow = workers, window
+
+	var out RunComparison
+	for i, c := range []core.Config{seqCfg, parCfg} {
+		sys, err := core.NewSystem(c)
+		if err != nil {
+			return out, err
+		}
+		res, err := sys.Run()
+		if err != nil {
+			return out, err
+		}
+		if i == 0 {
+			out.Full = res
+		} else {
+			out.Sampled = res
+		}
+	}
+	if len(out.Full.VMs) != len(out.Sampled.VMs) {
+		return out, fmt.Errorf("harness: VM count mismatch %d vs %d", len(out.Full.VMs), len(out.Sampled.VMs))
+	}
+	for v := range out.Full.VMs {
+		f, s := out.Full.VMs[v], out.Sampled.VMs[v]
+		if f.Stats.Refs == 0 {
+			continue
+		}
+		d := VMDelta{
+			VM:   f.VM,
+			Name: f.Name,
+			Miss: relErr(s.MissRate(), f.MissRate()),
+			Cpt:  relErr(s.CyclesPerTx, f.CyclesPerTx),
+		}
+		out.Deltas = append(out.Deltas, d)
+		out.MaxRelErr = math.Max(out.MaxRelErr, math.Max(d.Miss, d.Cpt))
+	}
+	if bound <= 0 {
+		bound = DefaultPdesBound
+	}
+	out.Bound = bound
+	return out, nil
+}
+
+// CompareParallelFigures builds the given figures twice — one
+// sequential runner, one with the parallel engine — and reports
+// per-figure deviations, wall times and the bound cells are judged
+// against (<= 0 selects DefaultPdesBound). Cell deviations use the same
+// small-cell floor as the sampling comparison.
+func CompareParallelFigures(opt Options, workers int, window sim.Cycle, bound float64, ids []string) ([]FigureComparison, float64, error) {
+	seqOpt := opt
+	seqOpt.Pdes, seqOpt.PdesWindow = 0, 0
+	seqRun := NewRunner(seqOpt)
+	parOpt := opt
+	parOpt.Pdes, parOpt.PdesWindow = workers, window
+	parRun := NewRunner(parOpt)
+
+	out := make([]FigureComparison, 0, len(ids))
+	for _, id := range ids {
+		fc := FigureComparison{ID: id}
+		t0 := time.Now()
+		ft, err := seqRun.RunFigure(id)
+		if err != nil {
+			return nil, 0, err
+		}
+		t1 := time.Now()
+		pt, err := parRun.RunFigure(id)
+		if err != nil {
+			return nil, 0, err
+		}
+		fc.FullSeconds, fc.SampledSeconds = t1.Sub(t0).Seconds(), time.Since(t1).Seconds()
+		fc.MaxRelErr, fc.WorstCell, err = CompareTables(ft, pt)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, fc)
+	}
+	if bound <= 0 {
+		bound = DefaultPdesBound
+	}
+	return out, bound, nil
 }
 
 // CompareSampledFigures builds the given figures twice — one detailed

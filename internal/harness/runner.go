@@ -49,6 +49,20 @@ type Options struct {
 	// sampled sweep can still include the ablation rows that need exact
 	// semantics. Configs that already set their own Sample keep it.
 	Sample core.SampleConfig
+	// Pdes enables the split-transaction parallel discrete-event engine
+	// inside every compatible simulation the runner executes
+	// (core.Config.Pdes): 0/1 keep the sequential engine, N>1 partitions
+	// each run's active cores into up to N domains advancing in bounded
+	// windows. Unlike Shards this changes the simulated stream — results
+	// are statistical estimates gated by CompareParallelRun /
+	// CompareParallelFigures, deterministic per (seed, Pdes, PdesWindow).
+	// Configs that are incompatible (sharding, sampling, rebalancing,
+	// snapshots, trace sources) quietly run sequentially. Configs that
+	// already set their own Pdes keep it.
+	Pdes int
+	// PdesWindow overrides the parallel engine's window width in cycles
+	// (0 = core.DefaultPdesWindow).
+	PdesWindow sim.Cycle
 	// Replicates runs each configuration this many times with perturbed
 	// seeds and reports merged metrics, per the Alameldeen-Wood
 	// statistical simulation methodology the paper's §V adopts (0/1 =
@@ -256,6 +270,15 @@ func (r *Runner) simulate(cfg core.Config) (core.Result, error) {
 	if !cfg.Sample.Enabled() && r.opt.Sample.Enabled() && sampleCompatible(cfg) {
 		cfg.Sample = r.opt.Sample
 	}
+	if cfg.Pdes <= 1 && r.opt.Pdes > 1 && pdesCompatible(cfg) {
+		cfg.Pdes = r.opt.Pdes
+		if cfg.Pdes > cfg.Cores {
+			cfg.Pdes = cfg.Cores // the engine caps domains at active cores anyway
+		}
+		if cfg.PdesWindow == 0 {
+			cfg.PdesWindow = r.opt.PdesWindow
+		}
+	}
 	r.sims.Add(1)
 	r.opt.Obs.CountSim()
 	sys, err := core.NewSystem(cfg)
@@ -298,6 +321,18 @@ func (r *Runner) WorstSampleRelCI() float64 {
 // skips (rather than fails) the rows that need exact semantics.
 func sampleCompatible(cfg core.Config) bool {
 	return cfg.RebalanceCycles == 0 && cfg.SnapshotRefs == 0 && cfg.TotalThreads() <= cfg.Cores
+}
+
+// pdesCompatible reports whether a configuration may run under the
+// split-transaction parallel engine: the same predicate
+// core.Config.Validate enforces for explicitly parallel configs,
+// applied here as a quiet filter so a runner-wide Pdes option skips
+// (rather than fails) the rows that need a different engine or exact
+// sequential semantics.
+func pdesCompatible(cfg core.Config) bool {
+	return cfg.Shards <= 1 && !cfg.Sample.Enabled() &&
+		cfg.RebalanceCycles == 0 && cfg.SnapshotRefs == 0 &&
+		len(cfg.Sources) == 0
 }
 
 // runConfigs executes a batch of non-memoized configurations (ablation

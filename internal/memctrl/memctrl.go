@@ -134,3 +134,18 @@ func (m *Mem) AvgWait() float64 {
 func (m *Mem) ResetStats() {
 	m.Reads, m.Writebacks, m.WaitSum = 0, 0, 0
 }
+
+// SyncBusy copies per-controller busy state from src, leaving counters
+// untouched. The parallel engine re-bases each domain's controller
+// replica from the live model at every window barrier.
+func (m *Mem) SyncBusy(src *Mem) { copy(m.busy, src.busy) }
+
+// FoldBusyMax folds a replica's busy state into m by per-controller max
+// (replicas only ever push busy-until forward from the shared base).
+func (m *Mem) FoldBusyMax(repl *Mem) {
+	for i, b := range repl.busy {
+		if b > m.busy[i] {
+			m.busy[i] = b
+		}
+	}
+}

@@ -170,3 +170,33 @@ func (m *Model) AvgHops() float64 {
 func (m *Model) ResetStats() {
 	m.Transfers, m.WaitCycles, m.HopsSum = 0, 0, 0
 }
+
+// SyncLoad copies the per-link load estimators (EWMA utilization and
+// last-update times) from src, leaving counters untouched. The parallel
+// engine re-bases each domain's mesh replica from the folded live model
+// at every window barrier. Geometries must match.
+func (m *Model) SyncLoad(src *Model) {
+	copy(m.last, src.last)
+	copy(m.util, src.util)
+}
+
+// FoldLoadDelta folds a domain replica's load evolution into m: every
+// link takes repl's utilization movement since base (the snapshot the
+// replica was last synced from) additively, clamped at zero, and its
+// last-update time by max. Links a replica never touched contribute a
+// zero delta, so folding N replicas accumulates exactly the traffic each
+// domain routed during the window.
+func (m *Model) FoldLoadDelta(repl, base *Model) {
+	for n := range m.util {
+		for p := 0; p < int(numPorts); p++ {
+			u := m.util[n][p] + repl.util[n][p] - base.util[n][p]
+			if u < 0 {
+				u = 0
+			}
+			m.util[n][p] = u
+			if repl.last[n][p] > m.last[n][p] {
+				m.last[n][p] = repl.last[n][p]
+			}
+		}
+	}
+}

@@ -65,6 +65,20 @@ type Manifest struct {
 	SampleSkippedRefs  uint64  `json:"sample_skipped_refs,omitempty"`
 	SampleRelCI        float64 `json:"sample_rel_ci,omitempty"`
 	SampleStopReason   string  `json:"sample_stop_reason,omitempty"`
+
+	// Split-transaction parallel-engine provenance: configured workers,
+	// domains formed, window geometry, barrier counts and where the
+	// spine's time went (worker waits, serial op replay). Absent for
+	// sequential runs — a -pdes number can always be told from a
+	// sequential one by these fields.
+	PdesWorkers      int     `json:"pdes_workers,omitempty"`
+	PdesDomains      int     `json:"pdes_domains,omitempty"`
+	PdesWindowCycles uint64  `json:"pdes_window_cycles,omitempty"`
+	PdesWindows      uint64  `json:"pdes_windows,omitempty"`
+	PdesOps          uint64  `json:"pdes_ops,omitempty"`
+	PdesStalls       uint64  `json:"pdes_stalls,omitempty"`
+	PdesStallSeconds float64 `json:"pdes_stall_seconds,omitempty"`
+	PdesApplySeconds float64 `json:"pdes_apply_seconds,omitempty"`
 }
 
 // ManifestWriter appends manifest lines to a JSONL file. Safe for

@@ -265,6 +265,10 @@ type SimMetrics struct {
 	// carries the convergence signal losslessly enough for live display.
 	SampleWindows, SampleDetailedRefs ID
 	SampleSkippedRefs, SampleRelCIPPM ID
+	// Split-transaction parallel engine (zero / idle under the
+	// sequential engine).
+	PdesWorkers, PdesDomains      ID
+	PdesWindows, PdesOps, PdesStalls ID
 	// Runner bookkeeping.
 	Sims, Jobs ID
 }
@@ -304,6 +308,12 @@ func RegisterSimMetrics(reg *Registry) *SimMetrics {
 		SampleDetailedRefs: reg.GaugeID("sample_detailed_refs", "per-core references measured in detail"),
 		SampleSkippedRefs:  reg.GaugeID("sample_skipped_refs", "references fast-forwarded functionally"),
 		SampleRelCIPPM:     reg.GaugeID("sample_rel_ci_ppm", "worst per-VM relative 95% CI half-width, parts per million"),
+
+		PdesWorkers: reg.GaugeID("pdes_workers", "configured pdes worker count (0 = sequential engine)"),
+		PdesDomains: reg.GaugeID("pdes_domains", "worker domains formed over the active cores"),
+		PdesWindows: reg.GaugeID("pdes_windows", "parallel windows completed"),
+		PdesOps:     reg.GaugeID("pdes_ops", "shared-tier operations replayed at barriers"),
+		PdesStalls:  reg.GaugeID("pdes_stalls", "barriers where the spine waited on a worker domain"),
 	}
 	levels := [3]string{"l0", "l1", "llc"}
 	for i, lv := range levels {

@@ -240,6 +240,22 @@ func (h *RunHooks) SetSampleProgress(windows, detailedRefs, skippedRefs uint64, 
 	sh.Set(m.SampleRelCIPPM, uint64(ppm))
 }
 
+// SetPdes publishes the split-transaction parallel engine's worker and
+// domain counts (zero for the sequential engine).
+func (h *RunHooks) SetPdes(workers, domains int) {
+	h.Sh.Set(h.M.PdesWorkers, uint64(workers))
+	h.Sh.Set(h.M.PdesDomains, uint64(domains))
+}
+
+// SetPdesProgress publishes the parallel engine's window, replay-op and
+// sync-stall totals, once per window barrier.
+func (h *RunHooks) SetPdesProgress(windows, ops, stalls uint64) {
+	sh, m := h.Sh, h.M
+	sh.Set(m.PdesWindows, windows)
+	sh.Set(m.PdesOps, ops)
+	sh.Set(m.PdesStalls, stalls)
+}
+
 // SetSharing publishes the LLC replication snapshot counts.
 func (h *RunHooks) SetSharing(resident, replicated int) {
 	h.Sh.Set(h.M.LLCResident, uint64(resident))

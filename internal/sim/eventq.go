@@ -81,12 +81,12 @@ func (q *EventQueue) Push(t Cycle, v int) {
 	q.n++
 }
 
-// Pop removes and returns the earliest event; equal times pop in push
-// order. It panics on an empty queue; callers always check Len first.
-func (q *EventQueue) Pop() (Cycle, int) {
-	if q.n == 0 {
-		panic("sim: Pop on empty EventQueue")
-	}
+// locate advances the scan window to the bucket holding the earliest
+// pending event and returns that bucket's index and the event's position
+// in it. The advance is monotone and idempotent (locating twice without
+// an intervening pop lands on the same event), so both Pop and Peek run
+// on it. Callers guarantee q.n > 0.
+func (q *EventQueue) locate() (uint64, int) {
 	for advanced := uint64(0); ; {
 		d := q.nextOccDelta()
 		if advanced += d; advanced > eqNumBuckets {
@@ -106,14 +106,7 @@ func (q *EventQueue) Pop() (Cycle, int) {
 			// One-cycle buckets: every in-window event here shares the
 			// same time, so the first one is the earliest pushed.
 			if b[i].at < q.curTop {
-				e := b[i]
-				nb := append(b[:i], b[i+1:]...)
-				q.buckets[q.cur] = nb
-				if len(nb) == 0 {
-					q.occ[q.cur>>6] &^= 1 << (q.cur & 63)
-				}
-				q.n--
-				return e.at, e.val
+				return q.cur, i
 			}
 		}
 		// The occupied bucket held only future laps; step past it.
@@ -121,6 +114,24 @@ func (q *EventQueue) Pop() (Cycle, int) {
 		q.curTop++
 		advanced++
 	}
+}
+
+// Pop removes and returns the earliest event; equal times pop in push
+// order. It panics on an empty queue; callers always check Len first.
+func (q *EventQueue) Pop() (Cycle, int) {
+	if q.n == 0 {
+		panic("sim: Pop on empty EventQueue")
+	}
+	bi, i := q.locate()
+	b := q.buckets[bi]
+	e := b[i]
+	nb := append(b[:i], b[i+1:]...)
+	q.buckets[bi] = nb
+	if len(nb) == 0 {
+		q.occ[bi>>6] &^= 1 << (bi & 63)
+	}
+	q.n--
+	return e.at, e.val
 }
 
 // nextOccDelta returns the cyclic distance from the current bucket to the
@@ -143,10 +154,17 @@ func (q *EventQueue) nextOccDelta() uint64 {
 	return d
 }
 
-// Peek returns the earliest event without removing it.
+// Peek returns the earliest event without removing it (zero values on an
+// empty queue). It shares Pop's bitmap-guided scan rather than the full-
+// calendar fallback, so a Peek-then-Pop loop locates each event once
+// cheaply; the scan-window advance it causes is invisible to callers.
 func (q *EventQueue) Peek() (Cycle, int) {
-	at, v, _ := q.min()
-	return at, v
+	if q.n == 0 {
+		return 0, 0
+	}
+	bi, i := q.locate()
+	e := q.buckets[bi][i]
+	return e.at, e.val
 }
 
 // min scans every bucket for the globally earliest event. Ties share a

@@ -7,6 +7,7 @@ package vm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"consim/internal/sim"
 	"consim/internal/workload"
@@ -155,6 +156,26 @@ func (v *VM) Touch(block uint64) {
 
 // TouchedBlocks returns the number of distinct 64-byte blocks referenced.
 func (v *VM) TouchedBlocks() uint64 { return v.nTouch }
+
+// TouchWords returns the length of a footprint bitmap shadow (one uint64
+// per 64 blocks), for engines that track touches privately per domain
+// and fold them in with MergeTouched.
+func (v *VM) TouchWords() int { return len(v.touched) }
+
+// MergeTouched ORs a shadow footprint bitmap (as built by a parallel
+// engine's per-domain workers) into the VM's own and recomputes the
+// distinct-block count. Idempotent, so repeated folds of a cumulative
+// shadow are safe.
+func (v *VM) MergeTouched(shadow []uint64) {
+	for i, w := range shadow {
+		v.touched[i] |= w
+	}
+	var n uint64
+	for _, w := range v.touched {
+		n += uint64(bits.OnesCount64(w))
+	}
+	v.nTouch = n
+}
 
 // ResetStats clears the measurement counters (footprint tracking is
 // cumulative, matching the paper's whole-run block counts).

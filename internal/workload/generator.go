@@ -96,6 +96,13 @@ type Generator struct {
 
 	genRefs []uint64 // per-thread generated counts (drive phase position)
 
+	// Detached-cursor mode (DetachCursors): per-thread replicas of the
+	// two shared cursors above, letting threads be sampled concurrently
+	// from different scheduler domains without synchronization.
+	detached bool
+	detScan  []uint64
+	detCold  []uint64
+
 	ring    [][]Access // per-thread pre-sampled references
 	ringPos []int      // next unconsumed ring index; len(ring[t]) when drained
 
@@ -251,13 +258,72 @@ func (c liveCursors) cold(int) Access {
 
 func (c liveCursors) steadyShared() bool { return c.g.sharedCold >= c.g.lay.sharedLen }
 
+// DetachCursors switches the generator's shared sampling cursors to
+// per-thread replicas, so threads can be sampled concurrently from
+// different scheduler domains without synchronization (the parallel
+// discrete-event engine's requirement). The replicas preserve the two
+// properties the shared cursors encode: the collaborative scan advances
+// at the collective pace — every thread's scan position moves
+// threads-per-ScanReadsPerBlock per own reference, keeping the
+// near-lockstep sweep whose trailing reads hit the leader's lines — and
+// the cold sweep stripes the shared region across threads so one lap of
+// the region takes the same aggregate reference count. Streams
+// legitimately differ from the attached mode (the engine that uses this
+// is equivalence-gated, not bit-identical), but each thread's stream is
+// independent of cross-thread interleaving, hence deterministic under
+// any domain partition. Must be called before any references are drawn.
+func (g *Generator) DetachCursors() {
+	if g.detached {
+		return
+	}
+	g.detached = true
+	g.detScan = make([]uint64, g.threads)
+	g.detCold = make([]uint64, g.threads)
+}
+
+// detachedCursors is one thread's private replica of the shared cursors
+// (see DetachCursors for the pacing argument).
+type detachedCursors struct {
+	g *Generator
+	t int
+}
+
+func (c detachedCursors) scan(int) Access {
+	g := c.g
+	n := g.detScan[c.t]
+	g.detScan[c.t]++
+	// Preserve both attached-mode properties: ScanReadsPerBlock
+	// consecutive reads of one block (the intra-thread reuse the private
+	// levels absorb), and the collective sweep pace — threads stripe the
+	// region, so together they advance one block per ScanReadsPerBlock
+	// aggregate draws, near-lockstep.
+	pos := (uint64(c.t) + n/uint64(g.spec.ScanReadsPerBlock)*uint64(g.threads)) % g.lay.scanLen
+	return Access{Block: g.lay.scanBase + pos}
+}
+
+func (c detachedCursors) cold(int) Access {
+	g := c.g
+	pos := (g.detCold[c.t]*uint64(g.threads) + uint64(c.t)) % g.lay.sharedLen
+	g.detCold[c.t]++
+	return Access{Block: g.lay.sharedBase + pos}
+}
+
+func (c detachedCursors) steadyShared() bool {
+	g := c.g
+	return g.detCold[c.t]*uint64(g.threads) >= g.lay.sharedLen
+}
+
 // fill pre-samples the next genBatch references for thread t. Hot state
 // (RNG, layout, mix, migratory episode, sweep cursor) lives in locals for
 // the duration of the batch; only the shared cursors touch the Generator.
 func (g *Generator) fill(t int) {
 	var st threadGenState
 	g.loadThread(t, &st)
-	fillCore(g, t, &st, g.ring[t][:genBatch:genBatch], liveCursors{g})
+	if g.detached {
+		fillCore(g, t, &st, g.ring[t][:genBatch:genBatch], detachedCursors{g, t})
+	} else {
+		fillCore(g, t, &st, g.ring[t][:genBatch:genBatch], liveCursors{g})
+	}
 	g.storeThread(t, &st)
 }
 

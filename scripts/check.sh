@@ -43,6 +43,17 @@ go run ./cmd/consim -workloads TPC-H -scale 16 -warm 2000 -meas 20000 \
 	-sample 1000 -sample-ci 0.2 | grep -q "sampled:" \
 	|| { echo "check.sh: sampled run produced no provenance line" >&2; exit 1; }
 
+echo "== parallel (pdes) engine smoke =="
+# The split-transaction parallel engine must stay within the equivalence
+# bound of the sequential engine (single seed here; CI's nightly matrix
+# covers more), stay deterministic per seed, and leave -pdes-off runs
+# untouched (golden fixtures above pin the sequential path bit-for-bit).
+go test -short -run 'TestPdesValidation|TestPdesDeterministic|TestPdesEquivalence' ./internal/core
+go test -short -run 'TestParallelEquivalence|TestRunnerPdesOption' ./internal/harness
+go run ./cmd/consim -workloads TPC-H -scale 16 -warm 2000 -meas 20000 \
+	-pdes 4 | grep -q "parallel:" \
+	|| { echo "check.sh: pdes run produced no provenance line" >&2; exit 1; }
+
 echo "== bench regression gate =="
 # Throughput-only bench run compared against the committed baseline:
 # fails on a >10% refs/sec regression or any allocs/ref growth.
