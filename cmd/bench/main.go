@@ -239,6 +239,7 @@ func run() (err error) {
 	// this run appends to must compare with the last committed record,
 	// not the one being taken now.
 	var base *Report
+	var basePdes *PdesSweepReport
 	if *baseline != "" {
 		hist, err := readReports(*baseline)
 		if err != nil {
@@ -248,6 +249,14 @@ func run() (err error) {
 			return fmt.Errorf("%s: empty report history", *baseline)
 		}
 		base = &hist[len(hist)-1]
+		// The pdes sweep is optional per record; gate its apply fractions
+		// against the newest record that took one.
+		for i := len(hist) - 1; i >= 0; i-- {
+			if hist[i].PdesSweep != nil && len(hist[i].PdesSweep.Points) > 0 {
+				basePdes = hist[i].PdesSweep
+				break
+			}
+		}
 	}
 
 	rep := Report{
@@ -358,7 +367,7 @@ func run() (err error) {
 			*out, n, rep.RefsPerSec, rep.AllocsPerRef)
 	}
 	if base != nil {
-		return gate(rep, *base, *baseline)
+		return gate(rep, *base, basePdes, *baseline)
 	}
 	return nil
 }
@@ -643,10 +652,12 @@ func appendReport(path string, rep Report) (int, error) {
 // gate compares a fresh report against the committed baseline (the
 // newest record in the -baseline history, resolved before this run
 // appended anything) and returns an error (non-zero exit) on a
-// throughput regression beyond 10% — outside normal machine noise — or
-// on any growth at all in allocations per reference, which are
-// deterministic and must only ever go down.
-func gate(rep, base Report, path string) error {
+// throughput regression beyond 10% — outside normal machine noise — on
+// any growth at all in allocations per reference, which are
+// deterministic and must only ever go down, or (when both this run and
+// the history carry a pdes sweep) on any worker count whose serial
+// replay share grew more than obs.ApplyFractionGate points.
+func gate(rep, base Report, basePdes *PdesSweepReport, path string) error {
 	if base.RefsPerSec > 0 && rep.RefsPerSec < base.RefsPerSec*0.9 {
 		return fmt.Errorf("refs_per_sec regressed more than 10%%: %.0f vs baseline %.0f (%s)",
 			rep.RefsPerSec, base.RefsPerSec, path)
@@ -655,7 +666,24 @@ func gate(rep, base Report, path string) error {
 		return fmt.Errorf("allocs_per_ref grew: %.6g vs baseline %.6g (%s)",
 			rep.AllocsPerRef, base.AllocsPerRef, path)
 	}
+	if rep.PdesSweep != nil && basePdes != nil {
+		if err := obs.GatePdesApply(applyByWorkers(basePdes.Points), applyByWorkers(rep.PdesSweep.Points)); err != nil {
+			return fmt.Errorf("%w (%s)", err, path)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "[baseline ok: %.0f refs/sec vs %.0f, %.4g allocs/ref vs %.4g]\n",
 		rep.RefsPerSec, base.RefsPerSec, rep.AllocsPerRef, base.AllocsPerRef)
 	return nil
+}
+
+// applyByWorkers projects a sweep's points to the worker -> apply
+// fraction map the obs gate consumes.
+func applyByWorkers(pts []PdesPoint) map[int]float64 {
+	m := make(map[int]float64, len(pts))
+	for _, p := range pts {
+		if p.ApplyFraction > 0 {
+			m[p.Workers] = p.ApplyFraction
+		}
+	}
+	return m
 }

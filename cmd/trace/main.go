@@ -13,6 +13,8 @@ import (
 	"os"
 
 	"consim"
+	"consim/internal/core"
+	"consim/internal/obs"
 	"consim/internal/trace"
 	"consim/internal/workload"
 )
@@ -106,7 +108,7 @@ func info(args []string) error {
 	return nil
 }
 
-func replay(args []string) error {
+func replay(args []string) (err error) {
 	if len(args) < 1 {
 		return fmt.Errorf("replay: missing trace file")
 	}
@@ -120,7 +122,19 @@ func replay(args []string) error {
 	sflags.Register(fs)
 	var pflags consim.PdesFlags
 	pflags.Register(fs)
+	var ocli obs.CLI
+	ocli.Register(fs)
 	fs.Parse(args[1:])
+
+	o, ostop, oerr := ocli.Start(os.Stderr)
+	if oerr != nil {
+		return oerr
+	}
+	defer func() {
+		if cerr := ostop(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	if err := consim.ValidateShards(*shards); err != nil {
 		return err
@@ -150,10 +164,16 @@ func replay(args []string) error {
 		return err
 	}
 	cfg.Sources = []workload.Source{rd}
+	cfg.Obs = o.Hooks()
 
 	res, err := consim.Run(cfg)
 	if err != nil {
 		return err
+	}
+	if o != nil && o.Man != nil {
+		if err := o.Man.Write(core.ManifestFor(cfg, res, 1)); err != nil {
+			return err
+		}
 	}
 	v := res.VMs[0]
 	fmt.Printf("replayed %s on %s/%s: cyc/tx=%.0f missRate=%.4f missLat=%.1f c2c=%.3f (loops t0=%d)\n",

@@ -1,12 +1,28 @@
 package core
 
 import (
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"consim/internal/obs"
 	"consim/internal/workload"
 )
+
+// allocTestHooks builds run hooks with every steady-state-visible sink
+// live: metric shards and a -timeseries recorder writing to a temp
+// sidecar.
+func allocTestHooks(t *testing.T) *obs.RunHooks {
+	t.Helper()
+	o := obs.NewObserver(nil, nil, nil)
+	tsw, err := obs.OpenTimeSeries(filepath.Join(t.TempDir(), "ts.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tsw.Close() })
+	o.TS = tsw
+	return o.Hooks()
+}
 
 // TestSteadyStateAllocBudget is the allocation regression guard for the
 // per-reference access path: once the machine is warm (caches and
@@ -17,9 +33,10 @@ import (
 // growth, runtime bookkeeping) but fails loudly if a per-reference
 // allocation sneaks back in.
 //
-// The run executes with live metrics attached: the observability
-// layer's publish cadence (shard slot writes, histogram observes) is
-// part of the guarded path and must stay allocation-free too.
+// The run executes with live metrics AND a -timeseries recorder
+// attached: the observability layer's publish cadence (shard slot
+// writes, histogram observes, time-series column writes) is part of
+// the guarded path and must stay allocation-free too.
 func TestSteadyStateAllocBudget(t *testing.T) {
 	specs := workload.Specs()
 	cfg := DefaultConfig(specs[workload.TPCW], specs[workload.SPECjbb],
@@ -28,11 +45,12 @@ func TestSteadyStateAllocBudget(t *testing.T) {
 	cfg.GroupSize = 4
 	cfg.WarmupRefs = 40_000
 	cfg.MeasureRefs = 40_000
-	cfg.Obs = obs.NewObserver(nil, nil, nil).Hooks()
+	cfg.Obs = allocTestHooks(t)
 	sys, err := NewSystem(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	sys.setupTS()
 
 	// Mirror Run()'s setup, then measure a second chunk after the first
 	// has warmed every structure.
@@ -73,11 +91,12 @@ func TestShardedSteadyStateAllocBudget(t *testing.T) {
 	cfg.WarmupRefs = 40_000
 	cfg.MeasureRefs = 40_000
 	cfg.Shards = 4
-	cfg.Obs = obs.NewObserver(nil, nil, nil).Hooks()
+	cfg.Obs = allocTestHooks(t)
 	sys, err := NewSystem(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	sys.setupTS()
 
 	for c := range sys.cores {
 		if sys.cores[c].active {

@@ -120,6 +120,14 @@ type PdesStats struct {
 	// ApplySeconds is wall time spent in the serial barrier replay — the
 	// Amdahl term that bounds scaling.
 	ApplySeconds float64 `json:"apply_seconds,omitempty"`
+	// WindowSeconds is spine wall time inside windows (posting work,
+	// running its own domain stripe, waiting for workers — StallSeconds
+	// is the waiting subset); BarrierSeconds is the barrier's replica
+	// fold/resync and publish time outside the op replay. Together with
+	// ApplySeconds they decompose runUntil's wall time (the per-run
+	// PhaseProfile renders the decomposition).
+	WindowSeconds  float64 `json:"window_seconds,omitempty"`
+	BarrierSeconds float64 `json:"barrier_seconds,omitempty"`
 }
 
 // validatePdes rejects configurations the parallel engine cannot run
@@ -196,6 +204,13 @@ type pdesDomain struct {
 	pend     []pdesPending
 	ops      []pdesOp
 	switches uint64
+
+	// Phase accounting: wall time draining this domain's calendar and
+	// lifetime op-log length. Written by whichever executor runs the
+	// domain, read by the spine only after the window's completion
+	// handshake (wdone) — the same ordering that protects ops.
+	busySeconds float64
+	opsTotal    uint64
 }
 
 // pdesEngine owns the worker domains of one System.
@@ -219,6 +234,10 @@ type pdesEngine struct {
 	wg    sync.WaitGroup
 
 	opIdx []int // reusable merge cursors for the barrier replay
+	// applyByGroup counts replayed ops per LLC bank group over the run —
+	// the per-bank breakdown of the serial replay term (which banks the
+	// Amdahl bottleneck actually touches).
+	applyByGroup []uint64
 
 	tr    *obs.Tracer
 	lanes []int
@@ -297,6 +316,7 @@ func newPdesEngine(s *System) *pdesEngine {
 	e.wseq = make([]uint32, e.execs-1)
 	e.wdone = make([]atomic.Uint32, e.execs-1)
 	e.opIdx = make([]int, len(e.domains))
+	e.applyByGroup = make([]uint64, len(s.banks))
 	return e
 }
 
@@ -368,7 +388,10 @@ func (e *pdesEngine) workerLoop(w int) {
 			tr.Begin(lane, "window")
 		}
 		for i := w + 1; i < len(e.domains); i += e.execs {
-			e.domains[i].run(e.s)
+			d := e.domains[i]
+			t0 := time.Now()
+			d.run(e.s)
+			d.busySeconds += time.Since(t0).Seconds()
 		}
 		if tr != nil {
 			tr.End(lane)
@@ -384,6 +407,7 @@ func (e *pdesEngine) workerLoop(w int) {
 func (e *pdesEngine) runUntil(target uint64) {
 	s := e.s
 	for !e.reached(target) {
+		winStart := time.Now()
 		h := e.nextHorizon()
 		for _, d := range e.domains {
 			d.horizon = h
@@ -393,9 +417,13 @@ func (e *pdesEngine) runUntil(target uint64) {
 			e.rings[w].Push(e.wseq[w])
 		}
 		for i := 0; i < len(e.domains); i += e.execs {
-			e.domains[i].run(s)
+			d := e.domains[i]
+			t0 := time.Now()
+			d.run(s)
+			d.busySeconds += time.Since(t0).Seconds()
 		}
 		e.awaitWorkers()
+		e.stats.WindowSeconds += time.Since(winStart).Seconds()
 		e.barrier()
 	}
 	// Fold the cumulative footprint shadows so TouchedBlocks is exact at
@@ -848,6 +876,7 @@ func (e *pdesEngine) applyOps() {
 		}
 		op := &e.domains[best].ops[idx[best]]
 		idx[best]++
+		e.applyByGroup[s.groupOf(int(op.core))]++
 		s.now = op.t
 		switch op.kind {
 		case opFetch:
@@ -997,8 +1026,10 @@ func (s *System) applyEvictL1(op *pdesOp) {
 // for the next window.
 func (e *pdesEngine) barrier() {
 	s := e.s
+	barStart := time.Now()
 	var maxT sim.Cycle
 	for _, d := range e.domains {
+		d.opsTotal += uint64(len(d.ops))
 		for i, b := range d.bankBusy {
 			if b > s.bankBusy[i] {
 				s.bankBusy[i] = b
@@ -1034,7 +1065,8 @@ func (e *pdesEngine) barrier() {
 
 	applyStart := time.Now()
 	e.applyOps()
-	e.stats.ApplySeconds += time.Since(applyStart).Seconds()
+	applySec := time.Since(applyStart).Seconds()
+	e.stats.ApplySeconds += applySec
 	e.stats.Windows++
 
 	if maxT > s.now {
@@ -1061,6 +1093,7 @@ func (e *pdesEngine) barrier() {
 	if s.hooks != nil {
 		s.publishLive()
 	}
+	e.stats.BarrierSeconds += time.Since(barStart).Seconds() - applySec
 }
 
 // rebase records the replica counters' current values so the next

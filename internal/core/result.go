@@ -120,6 +120,17 @@ type Result struct {
 	// visible provenance: -pdes results are equivalence-gated estimates
 	// of the sequential run, deterministic per (seed, Pdes, PdesWindow).
 	Pdes PdesStats
+
+	// Phase decomposes WallSeconds by engine phase (warmup/measure
+	// split always; pdes window/replay/barrier, sample detailed/ff and
+	// shard lane-occupancy terms when those engines ran). Host-side
+	// provenance like WallSeconds.
+	Phase obs.PhaseProfile
+
+	// TimeseriesRun / TimeseriesRows identify this run's rows in the
+	// -timeseries sidecar (zero when recording was off).
+	TimeseriesRun  int
+	TimeseriesRows int
 }
 
 // ManifestFor stamps a run manifest from a finished result: what was
@@ -140,7 +151,16 @@ func ManifestFor(cfg Config, res Result, parallel int) obs.Manifest {
 	if reps == 0 {
 		reps = 1
 	}
+	var phase *obs.PhaseProfile
+	if !res.Phase.Zero() {
+		p := res.Phase
+		phase = &p
+	}
 	return obs.Manifest{
+		Phase:          phase,
+		TimeseriesRun:  res.TimeseriesRun,
+		TimeseriesRows: res.TimeseriesRows,
+
 		Label:        cfg.Label(),
 		Workloads:    names,
 		GroupSize:    cfg.GroupSize,

@@ -160,9 +160,11 @@ func (s *System) runSampled(lane int) {
 	for {
 		windowStart := s.now
 		target += sc.WindowRefs
+		simBefore := s.simSeconds
 		endW := s.phase(lane, "window")
 		s.runUntil(target)
 		endW()
+		s.phaseProf.SampleDetailedSeconds += s.simSeconds - simBefore
 		s.sample.Windows++
 		s.sample.DetailedRefs += sc.WindowRefs
 		span := float64(s.now - windowStart)
@@ -244,7 +246,9 @@ func (s *System) fastForward(perCore uint64) {
 		ffLoop(s, bud, liveSource{})
 	}
 	s.sample.SkippedRefs += perCore
-	s.simSeconds += time.Since(start).Seconds()
+	elapsed := time.Since(start).Seconds()
+	s.simSeconds += elapsed
+	s.phaseProf.SampleFFSeconds += elapsed
 }
 
 // ffBudgets apportions the fast-forward budget (perCore references per

@@ -107,6 +107,11 @@ type shardEngine struct {
 
 	stats ShardStats
 
+	// laneNanos accumulates each worker lane's task-execution wall time
+	// (atomic: the spine reads it for the run's PhaseProfile while
+	// workers may still be draining in-flight tasks).
+	laneNanos []atomic.Int64
+
 	// tr / lanes give each worker its own trace lane, so Perfetto shows
 	// the functional plane next to the spine and stalls read as gaps.
 	tr    *obs.Tracer
@@ -183,6 +188,7 @@ func newShardEngine(s *System) *shardEngine {
 	for w := range e.rings {
 		e.rings[w] = sim.NewTaskRing(len(e.slots) + cfg.Cores + 1)
 	}
+	e.laneNanos = make([]atomic.Int64, workers)
 	return e
 }
 
@@ -231,6 +237,7 @@ func (e *shardEngine) worker(w int) {
 		if !ok {
 			return
 		}
+		t0 := time.Now()
 		if task&1 == taskPrefill {
 			if tr != nil {
 				tr.Begin(lane, "prefill")
@@ -245,6 +252,7 @@ func (e *shardEngine) worker(w int) {
 		if tr != nil {
 			tr.End(lane)
 		}
+		e.laneNanos[w].Add(time.Since(t0).Nanoseconds())
 	}
 }
 

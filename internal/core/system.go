@@ -95,6 +95,26 @@ type System struct {
 	hooks   *obs.RunHooks
 	lastPub pubTotals
 
+	// Per-window time-series recording (hooks.TS set): rec buffers one
+	// row per live publish into preallocated columns; the tsPrev*
+	// scratch re-bases per-VM and per-domain deltas between rows, and
+	// tsPhase tracks the phase tag the enclosing phase() span set.
+	// All recording work is allocation-free (alloc_test.go guards it).
+	rec           *obs.Recorder
+	tsStart       time.Time
+	tsPhase       obs.TSPhase
+	tsPrevCycle   sim.Cycle
+	tsPrevRefs    []uint64
+	tsPrevMiss    []uint64
+	tsPrevDomCyc  []uint64
+	tsPrevDomBusy []float64
+	tsPrevReplay  float64
+	tsRefsPerTx   []float64
+
+	// phaseProf accumulates the run's wall-time decomposition; engine-
+	// specific terms are folded in from the engines at run end.
+	phaseProf obs.PhaseProfile
+
 	// shard is the intra-run parallel engine (cfg.Shards > 1); nil runs
 	// the sequential loop. See shard.go for why the workers carry only
 	// functional work and results stay bit-identical.
@@ -436,17 +456,20 @@ func (s *System) Run() (Result, error) {
 		}
 	}
 
+	s.setupTS()
+
 	// Warm-up phase.
 	endPhase := s.phase(lane, "warmup")
 	s.runUntil(s.cfg.WarmupRefs)
-	endPhase()
-	measureStart := s.now
 	if h != nil {
 		// Flush the warmup tail, then re-base the deltas: ResetStats is
 		// about to zero every counter the publish cadence diffs against.
 		s.publishLive()
 		s.lastPub = pubTotals{}
 	}
+	endPhase()
+	s.phaseProf.WarmupSeconds = s.simSeconds
+	measureStart := s.now
 	for _, m := range s.vms {
 		m.ResetStats()
 	}
@@ -461,11 +484,18 @@ func (s *System) Run() (Result, error) {
 	}
 	s.net.ResetStats()
 	s.mem.ResetStats()
+	if s.rec != nil {
+		// Re-base the time-series deltas against the zeroed counters.
+		for v := range s.tsPrevRefs {
+			s.tsPrevRefs[v], s.tsPrevMiss[v] = 0, 0
+		}
+	}
 
 	// Measurement phase, with an optional mid-run snapshot. The sampled
 	// mode replaces the single detailed stretch with windows and
 	// fast-forward; its snapshot is always end-of-measurement (intra-
 	// window positions are rejected by validation).
+	measSimStart := s.simSeconds
 	endPhase = s.phase(lane, "measure")
 	var snap Snapshot
 	if s.cfg.Sample.Enabled() {
@@ -490,7 +520,9 @@ func (s *System) Run() (Result, error) {
 		}
 	}
 	endPhase()
+	s.phaseProf.MeasureSeconds = s.simSeconds - measSimStart
 	window := s.now - measureStart
+	s.foldPhaseProfile()
 	if h != nil {
 		s.publishLive()
 		h.SetSharing(snap.ResidentLines, snap.ReplicatedLines)
@@ -501,6 +533,7 @@ func (s *System) Run() (Result, error) {
 			}
 			h.SetOccupancy(v, lines)
 		}
+		h.SetPhaseProfile(&s.phaseProf)
 	}
 
 	res := Result{
@@ -510,6 +543,7 @@ func (s *System) Run() (Result, error) {
 		Shard:           s.shardStats(),
 		Pdes:            s.pdesStats(),
 		Sample:          s.sample,
+		Phase:           s.phaseProf,
 		Snapshot:        snap,
 		NetAvgWait:      s.net.AvgWait(),
 		NetAvgHops:      s.net.AvgHops(),
@@ -533,10 +567,45 @@ func (s *System) Run() (Result, error) {
 			TouchedBlocks: m.TouchedBlocks(),
 		})
 	}
+	if s.rec != nil {
+		if err := s.rec.Flush(); err != nil {
+			return res, fmt.Errorf("core: time-series flush: %w", err)
+		}
+		res.TimeseriesRun = s.rec.Run()
+		res.TimeseriesRows = s.rec.Rows()
+	}
 	if err := s.dir.CheckInvariants(); err != nil {
 		return res, fmt.Errorf("core: coherence invariant violated: %w", err)
 	}
 	return res, nil
+}
+
+// foldPhaseProfile folds the engines' phase timers into the run's
+// profile at measurement end.
+func (s *System) foldPhaseProfile() {
+	p := &s.phaseProf
+	if e := s.pdes; e != nil {
+		p.PdesWindowSeconds = e.stats.WindowSeconds
+		p.PdesReplaySeconds = e.stats.ApplySeconds
+		p.PdesBarrierSeconds = e.stats.BarrierSeconds
+		p.PdesStallSeconds = e.stats.StallSeconds
+		for i, d := range e.domains {
+			p.Domains = append(p.Domains, obs.DomainPhase{
+				Domain:      i,
+				Cores:       len(d.cores),
+				Cycles:      uint64(d.now),
+				Ops:         d.opsTotal,
+				BusySeconds: d.busySeconds,
+			})
+		}
+		p.PdesApplyOpsByGroup = append(p.PdesApplyOpsByGroup, e.applyByGroup...)
+	}
+	if e := s.shard; e != nil {
+		p.LaneBusySeconds = make([]float64, len(e.laneNanos))
+		for w := range e.laneNanos {
+			p.LaneBusySeconds[w] = float64(e.laneNanos[w].Load()) / 1e9
+		}
+	}
 }
 
 // runUntil advances the system until every active core has issued at
@@ -660,13 +729,98 @@ func runLoopSrc[S refSource](s *System, target uint64, src S) {
 	}
 }
 
-// phase opens a named trace span on the run's lane; the returned closer
-// ends it. A no-op without hooks.
+// phase opens a named trace span on the run's lane and tags subsequent
+// time-series rows with the phase; the returned closer ends both. A
+// trace no-op without hooks. The unobserved path must return the
+// static closer: a capturing closure here costs one heap allocation
+// per phase, which the bench allocs_per_ref gate counts.
 func (s *System) phase(lane int, name string) func() {
+	prev := s.tsPhase
+	s.tsPhase = obs.TSPhaseOf(name)
 	if s.hooks == nil {
-		return func() {}
+		if s.rec == nil {
+			return noopPhaseEnd
+		}
+		return func() { s.tsPhase = prev }
 	}
-	return s.hooks.Phase(lane, name)
+	end := s.hooks.Phase(lane, name)
+	return func() {
+		end()
+		s.tsPhase = prev
+	}
+}
+
+// noopPhaseEnd is the shared closer for unobserved phases; without a
+// recorder nothing reads tsPhase, so there is no state to restore.
+var noopPhaseEnd = func() {}
+
+// setupTS attaches a per-run time-series recorder when the hooks carry
+// a sidecar writer, sizing the per-VM and per-domain columns and
+// allocating the delta-rebasing scratch once up front.
+func (s *System) setupTS() {
+	h := s.hooks
+	if h == nil || h.TS == nil {
+		return
+	}
+	nDom := 0
+	if s.pdes != nil {
+		nDom = len(s.pdes.domains)
+	}
+	s.rec = h.TS.NewRecorder(s.cfg.Label(), len(s.vms), nDom, 0)
+	s.tsStart = time.Now()
+	s.tsPrevRefs = make([]uint64, len(s.vms))
+	s.tsPrevMiss = make([]uint64, len(s.vms))
+	s.tsRefsPerTx = make([]float64, len(s.vms))
+	for v, m := range s.vms {
+		s.tsRefsPerTx[v] = float64(m.Gen.Spec().RefsPerTx)
+	}
+	if nDom > 0 {
+		s.tsPrevDomCyc = make([]uint64, nDom)
+		s.tsPrevDomBusy = make([]float64, nDom)
+	}
+}
+
+// recordTS commits one time-series row from the current live counters:
+// per-VM reference/miss/cycles-per-transaction deltas over the window
+// since the previous row, the live memory queue depth, the sampling CI
+// (when sampled) and the pdes replay and per-domain deltas (when
+// parallel). Pure column writes — allocation-free.
+func (s *System) recordTS() {
+	r := s.rec
+	relCI := -1.0
+	if s.cfg.Sample.Enabled() && s.sample.Windows > 0 {
+		relCI = s.sample.AchievedRelCI
+	}
+	replay := 0.0
+	if e := s.pdes; e != nil {
+		replay = e.stats.ApplySeconds - s.tsPrevReplay
+		s.tsPrevReplay = e.stats.ApplySeconds
+	}
+	r.Begin(s.tsPhase, uint64(s.now), time.Since(s.tsStart).Seconds(),
+		s.mem.QueueDepth(s.now), relCI, replay)
+	span := float64(s.now - s.tsPrevCycle)
+	for v, m := range s.vms {
+		dRefs := m.Stats.Refs - s.tsPrevRefs[v]
+		dMiss := m.Stats.LLCMisses - s.tsPrevMiss[v]
+		s.tsPrevRefs[v] = m.Stats.Refs
+		s.tsPrevMiss[v] = m.Stats.LLCMisses
+		miss, cpt := 0.0, 0.0
+		if dRefs > 0 {
+			miss = float64(dMiss) / float64(dRefs)
+			cpt = span * s.tsRefsPerTx[v] / float64(dRefs)
+		}
+		r.VM(v, dRefs, miss, cpt)
+	}
+	if e := s.pdes; e != nil {
+		for i, d := range e.domains {
+			cyc := uint64(d.now)
+			r.Domain(i, cyc-s.tsPrevDomCyc[i], d.busySeconds-s.tsPrevDomBusy[i])
+			s.tsPrevDomCyc[i] = cyc
+			s.tsPrevDomBusy[i] = d.busySeconds
+		}
+	}
+	r.Commit()
+	s.tsPrevCycle = s.now
 }
 
 // publishLive folds the counters the hot loop accumulates in plain
@@ -729,6 +883,9 @@ func (s *System) publishLive() {
 	}
 	if e := s.pdes; e != nil {
 		h.SetPdesProgress(e.stats.Windows, e.stats.Ops, e.stats.Stalls)
+	}
+	if s.rec != nil {
+		s.recordTS()
 	}
 }
 

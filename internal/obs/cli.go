@@ -25,6 +25,7 @@ type CLI struct {
 	Progress   bool
 	TraceFile  string
 	Manifest   string
+	TimeSeries string
 	CPUProfile string
 	MemProfile string
 	DebugAddr  string
@@ -35,6 +36,7 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&c.Progress, "progress", false, "render a live job/throughput status line on stderr")
 	fs.StringVar(&c.TraceFile, "tracefile", "", "write a Chrome trace-format JSON timeline here (open in ui.perfetto.dev)")
 	fs.StringVar(&c.Manifest, "manifest", "", "append per-run provenance manifests to this JSONL file (e.g. results/manifests.jsonl)")
+	fs.StringVar(&c.TimeSeries, "timeseries", "", "append per-window telemetry rows to this JSONL sidecar (analyze with cmd/obs report)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile here")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile here at exit")
 	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve expvar metrics and net/http/pprof on this address (e.g. localhost:6060)")
@@ -42,7 +44,8 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 
 // enabled reports whether any sink needing an Observer was requested.
 func (c *CLI) enabled() bool {
-	return c.Progress || c.TraceFile != "" || c.Manifest != "" || c.DebugAddr != ""
+	return c.Progress || c.TraceFile != "" || c.Manifest != "" ||
+		c.TimeSeries != "" || c.DebugAddr != ""
 }
 
 // Start brings up every requested sink. The Observer is nil when only
@@ -133,12 +136,31 @@ func (c *CLI) Start(w io.Writer) (*Observer, func() error, error) {
 
 	o := NewObserver(tracer, man, prog)
 
-	if c.DebugAddr != "" {
-		shutdown, err := StartDebugServer(c.DebugAddr, o.Reg)
+	if c.TimeSeries != "" {
+		tsw, err := OpenTimeSeries(c.TimeSeries)
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(w, "[obs] debug server on http://%s/debug/vars and /debug/pprof\n", c.DebugAddr)
+		o.TS = tsw
+		if man != nil {
+			man.SetTimeseriesPath(tsw.Path())
+		}
+		path := c.TimeSeries
+		cleanups = append(cleanups, func() error {
+			if err := tsw.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "[obs] time series written to %s\n", path)
+			return nil
+		})
+	}
+
+	if c.DebugAddr != "" {
+		addr, shutdown, err := StartDebugServer(c.DebugAddr, o.Reg)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(w, "[obs] debug server on http://%s/debug/vars and /debug/pprof\n", addr)
 		cleanups = append(cleanups, shutdown)
 	}
 	if prog != nil {

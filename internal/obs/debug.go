@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"net"
 	"net/http"
@@ -23,10 +25,13 @@ var (
 //	/debug/vars          expvar (process stats + the consim metric registry)
 //	/debug/pprof/...     net/http/pprof (profile, heap, goroutine, trace)
 //
-// It returns a shutdown function. The server runs until shut down; a
-// long sweep can be profiled mid-flight with
+// It returns the bound address (resolving a ":0" request) and a
+// shutdown function that gracefully drains in-flight requests, closes
+// the listener, and waits for the serve loop to exit — the run ending
+// never leaks the listener or its goroutine. A long sweep can be
+// profiled mid-flight with
 // `go tool pprof http://addr/debug/pprof/profile`.
-func StartDebugServer(addr string, reg *Registry) (func() error, error) {
+func StartDebugServer(addr string, reg *Registry) (string, func() error, error) {
 	debugMu.Lock()
 	debugReg = reg
 	debugMu.Unlock()
@@ -52,9 +57,23 @@ func StartDebugServer(addr string, reg *Registry) (func() error, error) {
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
-	return func() error { return srv.Close() }, nil
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if errors.Is(err, context.DeadlineExceeded) {
+			// A hung profile stream outlived the grace period; force it.
+			err = srv.Close()
+		}
+		if serr := <-served; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+			err = serr
+		}
+		return err
+	}
+	return ln.Addr().String(), shutdown, nil
 }

@@ -15,11 +15,23 @@ import (
 // appends one JSON line per executed simulation job to a sidecar under
 // results/, so every number in a report can be traced back to its
 // configuration, seed, scale and tool version.
+// ManifestVersion is the manifest schema version stamped into new
+// records. Version 2 added host parallelism (gomaxprocs, num_cpu — a
+// pdes/shard scaling entry is meaningless without them), the phase
+// profile, and the time-series sidecar reference. Old sidecars decode
+// with Version 0 and those fields zero; readers must tolerate both.
+const ManifestVersion = 2
+
 type Manifest struct {
+	Version   int    `json:"version,omitempty"`
 	Time      string `json:"time"`
 	Tool      string `json:"tool"`
 	GoVersion string `json:"go_version"`
 	GitRev    string `json:"git_rev,omitempty"`
+	// Host parallelism at run time: scaling entries (pdes_*, shard_*)
+	// can only be compared across hosts with these recorded.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"num_cpu,omitempty"`
 
 	Label     string   `json:"label"`
 	Workloads []string `json:"workloads"`
@@ -79,13 +91,25 @@ type Manifest struct {
 	PdesStalls       uint64  `json:"pdes_stalls,omitempty"`
 	PdesStallSeconds float64 `json:"pdes_stall_seconds,omitempty"`
 	PdesApplySeconds float64 `json:"pdes_apply_seconds,omitempty"`
+
+	// Phase is the run's wall-time decomposition by engine phase (nil
+	// when telemetry was off or the record predates phase accounting).
+	Phase *PhaseProfile `json:"phase,omitempty"`
+
+	// Time-series sidecar reference: the JSONL file holding this run's
+	// per-window rows, the run id its rows carry, and how many rows it
+	// recorded. Absent when -timeseries was off.
+	Timeseries     string `json:"timeseries,omitempty"`
+	TimeseriesRun  int    `json:"timeseries_run,omitempty"`
+	TimeseriesRows int    `json:"timeseries_rows,omitempty"`
 }
 
 // ManifestWriter appends manifest lines to a JSONL file. Safe for
 // concurrent use (the parallel runner stamps jobs as they finish).
 type ManifestWriter struct {
-	mu sync.Mutex
-	f  *os.File
+	mu     sync.Mutex
+	f      *os.File
+	tsPath string // stamped into records that carry a time-series run id
 }
 
 // OpenManifest opens (appending) or creates the JSONL sidecar at path,
@@ -106,8 +130,22 @@ func OpenManifest(path string) (*ManifestWriter, error) {
 // Write stamps the environment fields (time, tool, Go version, git
 // revision, CPU time) and appends m as one JSON line.
 func (w *ManifestWriter) Write(m Manifest) error {
+	if m.Version == 0 {
+		m.Version = ManifestVersion
+	}
 	if m.Time == "" {
 		m.Time = time.Now().UTC().Format(time.RFC3339)
+	}
+	if m.GOMAXPROCS == 0 {
+		m.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	}
+	if m.NumCPU == 0 {
+		m.NumCPU = runtime.NumCPU()
+	}
+	if m.Timeseries == "" && m.TimeseriesRun != 0 {
+		w.mu.Lock()
+		m.Timeseries = w.tsPath
+		w.mu.Unlock()
 	}
 	if m.Tool == "" {
 		m.Tool = "consim " + ToolVersion
@@ -134,6 +172,14 @@ func (w *ManifestWriter) Write(m Manifest) error {
 
 // Path returns the underlying file's name.
 func (w *ManifestWriter) Path() string { return w.f.Name() }
+
+// SetTimeseriesPath records the sidecar path stamped into manifests
+// whose runs carried a time-series recorder.
+func (w *ManifestWriter) SetTimeseriesPath(path string) {
+	w.mu.Lock()
+	w.tsPath = path
+	w.mu.Unlock()
+}
 
 // Close flushes and closes the sidecar.
 func (w *ManifestWriter) Close() error {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -61,6 +62,106 @@ func TestManifestRoundTrip(t *testing.T) {
 		if !strings.HasPrefix(got.Tool, "consim ") {
 			t.Errorf("manifest %d tool = %q", i, got.Tool)
 		}
+	}
+}
+
+// TestManifestStampsEnvironment checks Write fills the v2 schema
+// fields the caller left zero, and records the time-series sidecar path
+// only for runs that carried a recorder.
+func TestManifestStampsEnvironment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.jsonl")
+	w, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetTimeseriesPath("results/ts.jsonl")
+	if err := w.Write(Manifest{Label: "plain"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Manifest{Label: "recorded", TimeseriesRun: 3, TimeseriesRows: 40}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	out, err := ReadManifests(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range out {
+		if m.Version != ManifestVersion {
+			t.Errorf("manifest %d version = %d, want %d", i, m.Version, ManifestVersion)
+		}
+		if m.GOMAXPROCS == 0 || m.NumCPU == 0 {
+			t.Errorf("manifest %d missing host parallelism: %+v", i, m)
+		}
+	}
+	if out[0].Timeseries != "" {
+		t.Errorf("run without a recorder got a sidecar path %q", out[0].Timeseries)
+	}
+	if out[1].Timeseries != "results/ts.jsonl" || out[1].TimeseriesRun != 3 || out[1].TimeseriesRows != 40 {
+		t.Errorf("recorded run sidecar reference = %+v", out[1])
+	}
+}
+
+// TestReadManifestsBackwardCompat decodes a pre-v2 line (no version, no
+// gomaxprocs, no phase): old sidecars must keep reading, with the new
+// fields zero.
+func TestReadManifestsBackwardCompat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.jsonl")
+	old := `{"time":"2026-01-01T00:00:00Z","tool":"consim v0.6","go_version":"go1.22",` +
+		`"label":"TPC-H shared/affinity","workloads":["TPC-H"],"group_size":4,"policy":"affinity",` +
+		`"scale":16,"seed":1,"warmup_refs":2000,"measure_refs":4000,"replicates":1,` +
+		`"refs":64000,"cycles":123456,"wall_seconds":0.25,"cpu_seconds":0.3}` + "\n"
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadManifests(path)
+	if err != nil {
+		t.Fatalf("old-schema sidecar failed to read: %v", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("read %d records, want 1", len(out))
+	}
+	m := out[0]
+	if m.Label != "TPC-H shared/affinity" || m.Refs != 64000 {
+		t.Fatalf("old record mangled: %+v", m)
+	}
+	if m.Version != 0 || m.GOMAXPROCS != 0 || m.NumCPU != 0 || m.Phase != nil || m.Timeseries != "" {
+		t.Fatalf("old record grew phantom v2 fields: %+v", m)
+	}
+}
+
+func TestReadManifestsErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// An empty sidecar is no records, not an error (a fresh -manifest
+	// file that no run wrote to yet).
+	out, err := ReadManifests(write("empty.jsonl", ""))
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty file: out=%v err=%v, want nil/nil", out, err)
+	}
+
+	// A truncated final line (crash mid-append) is an error, not silent
+	// data loss.
+	if _, err := ReadManifests(write("trunc.jsonl",
+		`{"label":"ok","wall_seconds":1}`+"\n"+`{"label":"cut","wall_se`)); err == nil {
+		t.Error("truncated line did not error")
+	}
+
+	// Non-JSON garbage is an error.
+	if _, err := ReadManifests(write("bad.jsonl", "not json at all\n")); err == nil {
+		t.Error("bad JSON did not error")
+	}
+
+	// A missing file surfaces the filesystem error.
+	if _, err := ReadManifests(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Error("missing file did not error")
 	}
 }
 

@@ -269,6 +269,10 @@ type SimMetrics struct {
 	// sequential engine).
 	PdesWorkers, PdesDomains      ID
 	PdesWindows, PdesOps, PdesStalls ID
+	// Phase decomposition (microseconds), published once per run end.
+	PhaseWarmupMicros, PhaseMeasureMicros              ID
+	PdesWindowMicros, PdesReplayMicros, PdesBarrierMicros ID
+	SampleDetailedMicros, SampleFFMicros               ID
 	// Runner bookkeeping.
 	Sims, Jobs ID
 }
@@ -314,6 +318,14 @@ func RegisterSimMetrics(reg *Registry) *SimMetrics {
 		PdesWindows: reg.GaugeID("pdes_windows", "parallel windows completed"),
 		PdesOps:     reg.GaugeID("pdes_ops", "shared-tier operations replayed at barriers"),
 		PdesStalls:  reg.GaugeID("pdes_stalls", "barriers where the spine waited on a worker domain"),
+
+		PhaseWarmupMicros:    reg.GaugeID("phase_warmup_micros", "wall time in the warm-up phase"),
+		PhaseMeasureMicros:   reg.GaugeID("phase_measure_micros", "wall time in the measurement phase"),
+		PdesWindowMicros:     reg.GaugeID("phase_pdes_window_micros", "spine wall time inside pdes windows"),
+		PdesReplayMicros:     reg.GaugeID("phase_pdes_replay_micros", "wall time in the serial barrier op replay"),
+		PdesBarrierMicros:    reg.GaugeID("phase_pdes_barrier_micros", "wall time folding/resyncing replicas at barriers"),
+		SampleDetailedMicros: reg.GaugeID("phase_sample_detailed_micros", "wall time in detailed sampling windows"),
+		SampleFFMicros:       reg.GaugeID("phase_sample_ff_micros", "wall time in functional fast-forward"),
 	}
 	levels := [3]string{"l0", "l1", "llc"}
 	for i, lv := range levels {

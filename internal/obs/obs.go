@@ -58,6 +58,7 @@ type Observer struct {
 	Tr   *Tracer         // nil = tracing off
 	Man  *ManifestWriter // nil = manifests off
 	Prog *Progress       // nil = no live progress
+	TS   *TSWriter       // nil = per-window time series off
 
 	// Parallel is recorded into manifests (the sweep's worker count).
 	Parallel int
@@ -94,6 +95,7 @@ func (o *Observer) HooksLane(lane int) *RunHooks {
 		Tr:   o.Tr,
 		Lane: lane,
 		Prog: o.Prog,
+		TS:   o.TS,
 	}
 }
 
@@ -121,6 +123,7 @@ type RunHooks struct {
 	Tr   *Tracer
 	Lane int // trace lane; -1 = acquire one for the run's duration
 	Prog *Progress
+	TS   *TSWriter // nil = no per-window time-series recording
 
 	ownLane atomic.Bool // lane was acquired by RunStart, release on RunEnd
 }
@@ -254,6 +257,20 @@ func (h *RunHooks) SetPdesProgress(windows, ops, stalls uint64) {
 	sh.Set(m.PdesWindows, windows)
 	sh.Set(m.PdesOps, ops)
 	sh.Set(m.PdesStalls, stalls)
+}
+
+// SetPhaseProfile publishes the run's phase decomposition as gauges
+// (microsecond resolution — wall phases are milliseconds and up).
+func (h *RunHooks) SetPhaseProfile(p *PhaseProfile) {
+	sh, m := h.Sh, h.M
+	micros := func(sec float64) uint64 { return uint64(sec * 1e6) }
+	sh.Set(m.PhaseWarmupMicros, micros(p.WarmupSeconds))
+	sh.Set(m.PhaseMeasureMicros, micros(p.MeasureSeconds))
+	sh.Set(m.PdesWindowMicros, micros(p.PdesWindowSeconds))
+	sh.Set(m.PdesReplayMicros, micros(p.PdesReplaySeconds))
+	sh.Set(m.PdesBarrierMicros, micros(p.PdesBarrierSeconds))
+	sh.Set(m.SampleDetailedMicros, micros(p.SampleDetailedSeconds))
+	sh.Set(m.SampleFFMicros, micros(p.SampleFFSeconds))
 }
 
 // SetSharing publishes the LLC replication snapshot counts.

@@ -1,0 +1,517 @@
+// Cross-run analysis: phase reports, run diffs and live metric polling.
+//
+// This file is the testable core of cmd/obs. It consumes the two
+// sidecar formats the toolchain already writes — run-manifest JSONL
+// (ManifestWriter) and the bench history array (cmd/bench's
+// BENCH_consim.json) — plus the -timeseries sidecar, and renders them
+// for humans: a per-run phase/Amdahl report, a two-run regression diff,
+// and a sorted table of a live -debug-addr endpoint's metrics.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ApplyFractionGate is the absolute apply-fraction growth (in fraction
+// points) past which a pdes run counts as regressed: the serial replay
+// share is deterministic per configuration, so five points of growth is
+// structural, not noise. Shared by `obs diff` and cmd/bench's gate.
+const ApplyFractionGate = 0.05
+
+// ---------------------------------------------------------------------
+// Phase report
+
+// WritePhaseReport renders one manifest record: the run header, the
+// wall-time phase decomposition with its untracked residual and
+// coverage, the per-domain imbalance breakdown, and — when rows from
+// the run's time-series sidecar are supplied — a per-VM trajectory
+// summary. rows may span many runs; only those matching the manifest's
+// TimeseriesRun are used.
+func WritePhaseReport(w io.Writer, m Manifest, rows []TSRow) {
+	engine := "sequential"
+	var p PhaseProfile
+	if m.Phase != nil {
+		p = *m.Phase
+		if e := p.Engine(); e != "" {
+			engine = e
+		}
+	}
+	fmt.Fprintf(w, "run %s  engine=%s  seed=%d  scale=%d\n", m.Label, engine, m.Seed, m.Scale)
+	fmt.Fprintf(w, "  host: gomaxprocs=%d numcpu=%d  %s  %s\n", m.GOMAXPROCS, m.NumCPU, m.GoVersion, m.Time)
+	rps := 0.0
+	if m.WallSeconds > 0 {
+		rps = float64(m.Refs) / m.WallSeconds
+	}
+	fmt.Fprintf(w, "  cost: refs=%d cycles=%d wall=%.3fs (%.0f refs/sec)\n", m.Refs, m.Cycles, m.WallSeconds, rps)
+
+	if m.Phase == nil {
+		fmt.Fprintf(w, "  no phase profile recorded (pre-v%d manifest or telemetry off)\n", ManifestVersion)
+		return
+	}
+
+	pct := func(sec float64) float64 {
+		if m.WallSeconds <= 0 {
+			return 0
+		}
+		return 100 * sec / m.WallSeconds
+	}
+	fmt.Fprintf(w, "phase decomposition (wall seconds):\n")
+	fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%\n", "warmup", p.WarmupSeconds, pct(p.WarmupSeconds))
+	fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%\n", "measure", p.MeasureSeconds, pct(p.MeasureSeconds))
+	switch p.Engine() {
+	case "pdes":
+		fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%   (stall %.3fs, %.1f%%)\n",
+			"in-window", p.PdesWindowSeconds, pct(p.PdesWindowSeconds), p.PdesStallSeconds, pct(p.PdesStallSeconds))
+		fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%   serial op replay (Amdahl term)\n",
+			"replay", p.PdesReplaySeconds, pct(p.PdesReplaySeconds))
+		fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%   folds, resyncs, publishes\n",
+			"barrier", p.PdesBarrierSeconds, pct(p.PdesBarrierSeconds))
+	case "sample":
+		fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%\n", "detailed", p.SampleDetailedSeconds, pct(p.SampleDetailedSeconds))
+		fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%\n", "fast-forward", p.SampleFFSeconds, pct(p.SampleFFSeconds))
+	}
+	tracked := p.TrackedSeconds()
+	untracked := m.WallSeconds - tracked
+	if untracked < 0 {
+		untracked = 0
+	}
+	cov := 0.0
+	if m.WallSeconds > 0 {
+		cov = 100 * tracked / m.WallSeconds
+		if cov > 100 {
+			cov = 100
+		}
+	}
+	fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%   (coverage %.1f%% of wall)\n", "untracked", untracked, pct(untracked), cov)
+	if af := p.ApplyFraction(m.WallSeconds); af > 0 {
+		fmt.Fprintf(w, "  apply fraction %.3f -> Amdahl speedup bound %.1fx\n", af, 1/af)
+	}
+	if len(p.Domains) > 0 {
+		fmt.Fprintf(w, "domains (in-window busy; concurrent, so busy may exceed window time):\n")
+		for _, d := range p.Domains {
+			share := 0.0
+			if p.PdesWindowSeconds > 0 {
+				share = 100 * d.BusySeconds / p.PdesWindowSeconds
+			}
+			fmt.Fprintf(w, "  dom %-2d cores=%-2d cycles=%-12d ops=%-10d busy=%.3fs (%.0f%% of window)\n",
+				d.Domain, d.Cores, d.Cycles, d.Ops, d.BusySeconds, share)
+		}
+	}
+	if len(p.PdesApplyOpsByGroup) > 0 {
+		total := uint64(0)
+		for _, n := range p.PdesApplyOpsByGroup {
+			total += n
+		}
+		fmt.Fprintf(w, "replay ops by LLC group (serial apply breakdown):\n")
+		for g, n := range p.PdesApplyOpsByGroup {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(n) / float64(total)
+			}
+			fmt.Fprintf(w, "  group %-2d ops=%-10d (%.1f%%)\n", g, n, share)
+		}
+	}
+	if len(p.LaneBusySeconds) > 0 {
+		fmt.Fprintf(w, "shard lanes (busy seconds; spine stall %.3fs):\n", m.ShardStallSeconds)
+		for i, sec := range p.LaneBusySeconds {
+			fmt.Fprintf(w, "  lane %-2d busy=%.3fs (%.1f%% of wall)\n", i, sec, pct(sec))
+		}
+	}
+	writeSeriesSummary(w, m, rows)
+}
+
+// writeSeriesSummary renders the per-VM trajectory summary for the
+// manifest's rows in the time-series sidecar.
+func writeSeriesSummary(w io.Writer, m Manifest, rows []TSRow) {
+	if m.TimeseriesRun == 0 {
+		return
+	}
+	var mine []TSRow
+	for _, r := range rows {
+		if r.Run == m.TimeseriesRun {
+			mine = append(mine, r)
+		}
+	}
+	if len(mine) == 0 {
+		fmt.Fprintf(w, "time series: run %d recorded %d rows, none loaded (sidecar %q)\n",
+			m.TimeseriesRun, m.TimeseriesRows, m.Timeseries)
+		return
+	}
+	phases := map[string]int{}
+	for _, r := range mine {
+		phases[r.Phase]++
+	}
+	names := make([]string, 0, len(phases))
+	for n := range phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "time series (run %d, %d rows):\n  windows:", m.TimeseriesRun, len(mine))
+	for _, n := range names {
+		fmt.Fprintf(w, " %s=%d", n, phases[n])
+	}
+	fmt.Fprintln(w)
+
+	nVM := 0
+	for _, r := range mine {
+		if len(r.Refs) > nVM {
+			nVM = len(r.Refs)
+		}
+	}
+	for v := 0; v < nVM; v++ {
+		var refs uint64
+		missMin, missMax := math.Inf(1), math.Inf(-1)
+		var missSum, cptSum float64
+		n := 0
+		for _, r := range mine {
+			if v >= len(r.Refs) {
+				continue
+			}
+			refs += r.Refs[v]
+			if ms := r.Miss[v]; ms >= 0 {
+				missSum += ms
+				if ms < missMin {
+					missMin = ms
+				}
+				if ms > missMax {
+					missMax = ms
+				}
+			}
+			if c := r.CPT[v]; c >= 0 {
+				cptSum += c
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  vm %-2d refs=%-10d miss %.4f..%.4f (mean %.4f)  cpt mean %.0f\n",
+			v, refs, missMin, missMax, missSum/float64(n), cptSum/float64(n))
+	}
+	var maxQ uint32
+	var qSum float64
+	for _, r := range mine {
+		qSum += float64(r.MemQ)
+		if r.MemQ > maxQ {
+			maxQ = r.MemQ
+		}
+	}
+	fmt.Fprintf(w, "  mem queue depth mean %.1f max %d\n", qSum/float64(len(mine)), maxQ)
+}
+
+// ---------------------------------------------------------------------
+// Diff
+
+// RunSummary is the engine-agnostic comparison surface `obs diff`
+// extracts from either sidecar format. Absent metrics are NaN so a diff
+// only compares what both sides measured.
+type RunSummary struct {
+	Name string
+	Time string
+
+	WallSeconds   float64
+	RefsPerSec    float64
+	AllocsPerRef  float64 // bench history only
+	ApplyFraction float64 // pdes serial-replay share of wall
+	StallSeconds  float64 // pdes/shard spine stall
+	SampleRelCI   float64 // sampled runs only
+
+	// PdesApply maps worker count -> apply fraction for bench-history
+	// pdes sweeps; nil otherwise.
+	PdesApply map[int]float64
+}
+
+func absent() float64 { return math.NaN() }
+
+// SummarizeManifest reduces one manifest record to its comparison
+// surface.
+func SummarizeManifest(m Manifest) RunSummary {
+	s := RunSummary{
+		Name:          m.Label,
+		Time:          m.Time,
+		WallSeconds:   m.WallSeconds,
+		RefsPerSec:    absent(),
+		AllocsPerRef:  absent(),
+		ApplyFraction: absent(),
+		StallSeconds:  absent(),
+		SampleRelCI:   absent(),
+	}
+	if m.WallSeconds > 0 && m.Refs > 0 {
+		s.RefsPerSec = float64(m.Refs) / m.WallSeconds
+	}
+	switch {
+	case m.Phase != nil && m.Phase.Engine() == "pdes":
+		s.ApplyFraction = m.Phase.ApplyFraction(m.WallSeconds)
+		s.StallSeconds = m.Phase.PdesStallSeconds
+	case m.PdesWorkers > 0 && m.WallSeconds > 0:
+		s.ApplyFraction = m.PdesApplySeconds / m.WallSeconds
+		s.StallSeconds = m.PdesStallSeconds
+	case m.Shards > 0:
+		s.StallSeconds = m.ShardStallSeconds
+	}
+	if m.SampleWindows > 0 {
+		s.SampleRelCI = m.SampleRelCI
+	}
+	return s
+}
+
+// benchRecord decodes the fields of one cmd/bench history record that
+// diffing needs. It deliberately re-declares a subset of cmd/bench's
+// Report schema: the history file is the contract, not the struct.
+type benchRecord struct {
+	Time         string  `json:"time"`
+	GoVersion    string  `json:"go_version"`
+	RefsPerSec   float64 `json:"refs_per_sec"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	AllocsPerRef float64 `json:"allocs_per_ref"`
+	PdesSweep    *struct {
+		Points []struct {
+			Workers       int     `json:"workers"`
+			ApplyFraction float64 `json:"apply_fraction"`
+		} `json:"points"`
+	} `json:"pdes_sweep"`
+}
+
+func summarizeBench(b benchRecord) RunSummary {
+	s := RunSummary{
+		Name:          "bench " + b.Time,
+		Time:          b.Time,
+		WallSeconds:   b.WallSeconds,
+		RefsPerSec:    b.RefsPerSec,
+		AllocsPerRef:  b.AllocsPerRef,
+		ApplyFraction: absent(),
+		StallSeconds:  absent(),
+		SampleRelCI:   absent(),
+	}
+	if b.PdesSweep != nil && len(b.PdesSweep.Points) > 0 {
+		s.PdesApply = make(map[int]float64, len(b.PdesSweep.Points))
+		for _, p := range b.PdesSweep.Points {
+			if p.ApplyFraction > 0 {
+				s.PdesApply[p.Workers] = p.ApplyFraction
+			}
+		}
+		// Headline apply fraction: the widest point, where the serial
+		// share matters most.
+		best := -1
+		for w := range s.PdesApply {
+			if w > best {
+				best = w
+			}
+		}
+		if best >= 0 {
+			s.ApplyFraction = s.PdesApply[best]
+		}
+	}
+	return s
+}
+
+// ReadRunSummaries loads every run in the file at path, auto-detecting
+// the format: a JSON array (or legacy single object) with refs_per_sec
+// is a cmd/bench history, anything else is manifest JSONL. The returned
+// kind is "bench" or "manifest".
+func ReadRunSummaries(path string) ([]RunSummary, string, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	trimmed := strings.TrimSpace(string(buf))
+	if trimmed == "" {
+		return nil, "", fmt.Errorf("%s: empty file", path)
+	}
+	if trimmed[0] == '[' {
+		var hist []benchRecord
+		if err := json.Unmarshal(buf, &hist); err != nil {
+			return nil, "", fmt.Errorf("%s: bench history: %w", path, err)
+		}
+		out := make([]RunSummary, len(hist))
+		for i, b := range hist {
+			out[i] = summarizeBench(b)
+		}
+		return out, "bench", nil
+	}
+	// Object stream: a bench record carries refs_per_sec and go_version
+	// but no label; a manifest always has a label.
+	var probe struct {
+		Label      string  `json:"label"`
+		RefsPerSec float64 `json:"refs_per_sec"`
+	}
+	if err := json.Unmarshal([]byte(firstJSONValue(trimmed)), &probe); err == nil &&
+		probe.Label == "" && probe.RefsPerSec > 0 {
+		var one benchRecord
+		if err := json.Unmarshal(buf, &one); err != nil {
+			return nil, "", fmt.Errorf("%s: bench report: %w", path, err)
+		}
+		return []RunSummary{summarizeBench(one)}, "bench", nil
+	}
+	ms, err := ReadManifests(path)
+	if err != nil {
+		return nil, "", err
+	}
+	out := make([]RunSummary, len(ms))
+	for i, m := range ms {
+		out[i] = SummarizeManifest(m)
+	}
+	return out, "manifest", nil
+}
+
+// firstJSONValue returns the prefix of s holding its first top-level
+// JSON value (JSONL files hold several; Unmarshal wants exactly one).
+func firstJSONValue(s string) string {
+	dec := json.NewDecoder(strings.NewReader(s))
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		return s
+	}
+	return string(raw)
+}
+
+// DiffSummaries renders a comparison of base (old) vs cur (new) and
+// returns the number of regressions beyond the thresholds: throughput
+// down by more than thresh (fractional, e.g. 0.05), allocations per
+// reference up at all, apply fraction up by more than
+// ApplyFractionGate points (headline and per bench-sweep worker
+// count).
+func DiffSummaries(w io.Writer, base, cur RunSummary, thresh float64) int {
+	fmt.Fprintf(w, "base: %s (%s)\n cur: %s (%s)\n", base.Name, base.Time, cur.Name, cur.Time)
+	regressions := 0
+	flag := func(bad bool, why string) string {
+		if !bad {
+			return ""
+		}
+		regressions++
+		return "  REGRESSION: " + why
+	}
+	both := func(a, b float64) bool { return !math.IsNaN(a) && !math.IsNaN(b) }
+
+	if both(base.WallSeconds, cur.WallSeconds) && base.WallSeconds > 0 {
+		d := (cur.WallSeconds - base.WallSeconds) / base.WallSeconds
+		fmt.Fprintf(w, "  %-16s %10.3f -> %10.3f  (%+.1f%%)\n", "wall_seconds", base.WallSeconds, cur.WallSeconds, 100*d)
+	}
+	if both(base.RefsPerSec, cur.RefsPerSec) && base.RefsPerSec > 0 {
+		d := (cur.RefsPerSec - base.RefsPerSec) / base.RefsPerSec
+		fmt.Fprintf(w, "  %-16s %10.0f -> %10.0f  (%+.1f%%)%s\n", "refs_per_sec", base.RefsPerSec, cur.RefsPerSec, 100*d,
+			flag(d < -thresh, fmt.Sprintf("throughput down %.1f%% (threshold %.0f%%)", -100*d, 100*thresh)))
+	}
+	if both(base.AllocsPerRef, cur.AllocsPerRef) {
+		fmt.Fprintf(w, "  %-16s %10.4g -> %10.4g%s\n", "allocs_per_ref", base.AllocsPerRef, cur.AllocsPerRef,
+			flag(cur.AllocsPerRef > base.AllocsPerRef, "allocs per ref grew (must only ever fall)"))
+	}
+	if both(base.ApplyFraction, cur.ApplyFraction) {
+		d := cur.ApplyFraction - base.ApplyFraction
+		fmt.Fprintf(w, "  %-16s %10.3f -> %10.3f  (%+.1f pts)%s\n", "apply_fraction", base.ApplyFraction, cur.ApplyFraction, 100*d,
+			flag(d > ApplyFractionGate, fmt.Sprintf("serial replay share up %.1f points (gate %.0f)", 100*d, 100*ApplyFractionGate)))
+	}
+	if both(base.StallSeconds, cur.StallSeconds) {
+		fmt.Fprintf(w, "  %-16s %10.3f -> %10.3f\n", "stall_seconds", base.StallSeconds, cur.StallSeconds)
+	}
+	if both(base.SampleRelCI, cur.SampleRelCI) {
+		fmt.Fprintf(w, "  %-16s %10.4f -> %10.4f\n", "sample_rel_ci", base.SampleRelCI, cur.SampleRelCI)
+	}
+	if len(base.PdesApply) > 0 && len(cur.PdesApply) > 0 {
+		workers := make([]int, 0, len(base.PdesApply))
+		for n := range base.PdesApply {
+			if _, ok := cur.PdesApply[n]; ok {
+				workers = append(workers, n)
+			}
+		}
+		sort.Ints(workers)
+		for _, n := range workers {
+			b, c := base.PdesApply[n], cur.PdesApply[n]
+			d := c - b
+			fmt.Fprintf(w, "  pdes[w=%d] apply %8.3f -> %10.3f  (%+.1f pts)%s\n", n, b, c, 100*d,
+				flag(d > ApplyFractionGate, fmt.Sprintf("apply fraction up %.1f points at %d workers", 100*d, n)))
+		}
+	}
+	if regressions == 0 {
+		fmt.Fprintf(w, "  no regressions beyond thresholds\n")
+	}
+	return regressions
+}
+
+// GatePdesApply compares per-worker apply fractions (cmd/bench's
+// regression gate): an error names the first worker count whose serial
+// replay share grew more than ApplyFractionGate points over base.
+func GatePdesApply(base, cur map[int]float64) error {
+	workers := make([]int, 0, len(cur))
+	for n := range cur {
+		workers = append(workers, n)
+	}
+	sort.Ints(workers)
+	for _, n := range workers {
+		b, ok := base[n]
+		if !ok || b <= 0 {
+			continue
+		}
+		if cur[n] > b+ApplyFractionGate {
+			return fmt.Errorf("pdes apply_fraction at %d workers regressed more than %.0f points: %.3f vs baseline %.3f",
+				n, 100*ApplyFractionGate, cur[n], b)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Live polling (obs top)
+
+// FetchDebugVars polls a -debug-addr endpoint's /debug/vars and returns
+// the consim metric snapshot: counters and gauges as float64, histogram
+// sub-fields flattened to "name.count" / "name.p50" / "name.p99".
+func FetchDebugVars(addr string) (map[string]float64, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %s", addr, resp.Status)
+	}
+	var payload struct {
+		Consim map[string]any `json:"consim"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("%s: decode /debug/vars: %w", addr, err)
+	}
+	if payload.Consim == nil {
+		return nil, fmt.Errorf("%s: no consim registry exported (is the run using -debug-addr?)", addr)
+	}
+	out := make(map[string]float64, len(payload.Consim))
+	for name, v := range payload.Consim {
+		switch val := v.(type) {
+		case float64:
+			out[name] = val
+		case map[string]any:
+			for sub, sv := range val {
+				if f, ok := sv.(float64); ok {
+					out[name+"."+sub] = f
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteVarsTable renders a snapshot sorted by name, with per-metric
+// deltas against prev (nil on the first poll).
+func WriteVarsTable(w io.Writer, cur, prev map[string]float64) {
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if prev == nil {
+			fmt.Fprintf(w, "  %-34s %14.0f\n", n, cur[n])
+			continue
+		}
+		fmt.Fprintf(w, "  %-34s %14.0f  %+12.0f\n", n, cur[n], cur[n]-prev[n])
+	}
+}

@@ -1,0 +1,374 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultTSCapacity is the ring capacity, in rows, of a Recorder: rows
+// buffered before an automatic spill to the sidecar. At the live
+// publish cadence (one row per 8192 machine references, or one per
+// pdes barrier) a figure-suite run fits in one ring, so steady state
+// never touches the file.
+const DefaultTSCapacity = 1024
+
+// TSPhase tags a time-series row with the engine phase it was recorded
+// in.
+type TSPhase uint8
+
+const (
+	TSPhaseOther TSPhase = iota
+	TSPhaseWarmup
+	TSPhaseMeasure
+	TSPhaseWindow      // sampled detailed window (inside measure)
+	TSPhaseFastForward // sampled functional fast-forward
+	TSPhaseSnapshot
+)
+
+var tsPhaseNames = [...]string{"other", "warmup", "measure", "window", "fastforward", "snapshot"}
+
+// String returns the phase's sidecar name.
+func (p TSPhase) String() string {
+	if int(p) < len(tsPhaseNames) {
+		return tsPhaseNames[p]
+	}
+	return "other"
+}
+
+// TSPhaseOf maps a trace-span phase name to its row tag.
+func TSPhaseOf(name string) TSPhase {
+	switch name {
+	case "warmup":
+		return TSPhaseWarmup
+	case "measure":
+		return TSPhaseMeasure
+	case "window":
+		return TSPhaseWindow
+	case "fastforward":
+		return TSPhaseFastForward
+	case "snapshot":
+		return TSPhaseSnapshot
+	}
+	return TSPhaseOther
+}
+
+// TSWriter appends time-series rows to a JSONL sidecar shared by every
+// run in the process (the parallel runner's jobs interleave at row
+// granularity; each row carries its run id). Safe for concurrent use.
+type TSWriter struct {
+	mu     sync.Mutex
+	f      *os.File
+	buf    []byte // reusable row-encoding buffer (flush-time only)
+	nextID atomic.Int64
+}
+
+// OpenTimeSeries opens (appending) or creates the sidecar at path,
+// creating parent directories as needed.
+func OpenTimeSeries(path string) (*TSWriter, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &TSWriter{f: f}, nil
+}
+
+// Path returns the underlying file's name.
+func (w *TSWriter) Path() string { return w.f.Name() }
+
+// Close closes the sidecar. Recorders must be flushed first.
+func (w *TSWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// NewRecorder returns a per-run recorder with a fresh run id. nVM and
+// nDom size the per-VM and per-domain columns (nDom 0 for non-pdes
+// engines); capacity 0 selects DefaultTSCapacity.
+func (w *TSWriter) NewRecorder(label string, nVM, nDom, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultTSCapacity
+	}
+	r := &Recorder{
+		w:     w,
+		run:   int(w.nextID.Add(1)),
+		label: label,
+		nVM:   nVM,
+		nDom:  nDom,
+		cap:   capacity,
+
+		phase:  make([]TSPhase, capacity),
+		cycle:  make([]uint64, capacity),
+		wall:   make([]float64, capacity),
+		memq:   make([]uint32, capacity),
+		relCI:  make([]float64, capacity),
+		replay: make([]float64, capacity),
+		vmRefs: make([]uint64, capacity*nVM),
+		vmMiss: make([]float64, capacity*nVM),
+		vmCPT:  make([]float64, capacity*nVM),
+	}
+	if nDom > 0 {
+		r.domCycles = make([]uint64, capacity*nDom)
+		r.domBusy = make([]float64, capacity*nDom)
+	}
+	return r
+}
+
+// Recorder buffers one run's per-window telemetry rows in fixed-
+// capacity typed columns. The recording path (Begin / VM / Domain /
+// Commit) only writes preallocated slices — zero allocations, zero
+// syscalls — so it can sit on the simulator's live publish cadence
+// without breaking the steady-state allocation budget. Encoding and
+// file I/O happen only when the ring fills (automatic spill) and at
+// Flush.
+type Recorder struct {
+	w     *TSWriter
+	run   int
+	label string
+	nVM   int
+	nDom  int
+
+	cap   int
+	n     int    // buffered rows
+	seq   uint32 // next row's window sequence number
+	total int    // rows committed over the recorder's lifetime
+	err   error  // first spill error, surfaced by Flush
+
+	phase  []TSPhase
+	cycle  []uint64
+	wall   []float64
+	memq   []uint32
+	relCI  []float64 // <0 = not a sampled run
+	replay []float64 // pdes replay-seconds delta this window
+
+	vmRefs []uint64 // [row*nVM+v]
+	vmMiss []float64
+	vmCPT  []float64
+
+	domCycles []uint64 // [row*nDom+d]; nil when nDom == 0
+	domBusy   []float64
+}
+
+// Run returns the recorder's run id (rows carry it; the manifest
+// records it so reports can correlate).
+func (r *Recorder) Run() int { return r.run }
+
+// Rows returns the number of rows committed so far.
+func (r *Recorder) Rows() int { return r.total }
+
+// Begin stages a new row's scalar columns. relCI < 0 marks a run
+// without a sampling CI; replay is the pdes serial-replay seconds
+// accumulated since the previous row (0 otherwise).
+func (r *Recorder) Begin(phase TSPhase, cycle uint64, wall float64, memq int, relCI, replay float64) {
+	i := r.n
+	r.phase[i] = phase
+	r.cycle[i] = cycle
+	r.wall[i] = wall
+	r.memq[i] = uint32(memq)
+	r.relCI[i] = relCI
+	r.replay[i] = replay
+}
+
+// VM fills one VM's columns for the staged row: references issued
+// since the previous row, the window's LLC miss rate, and the window's
+// cycles-per-transaction estimate.
+func (r *Recorder) VM(v int, refs uint64, miss, cpt float64) {
+	i := r.n*r.nVM + v
+	r.vmRefs[i] = refs
+	r.vmMiss[i] = miss
+	r.vmCPT[i] = cpt
+}
+
+// Domain fills one pdes domain's columns for the staged row: local
+// clock advance and in-window busy seconds since the previous row.
+func (r *Recorder) Domain(d int, cycles uint64, busy float64) {
+	i := r.n*r.nDom + d
+	r.domCycles[i] = cycles
+	r.domBusy[i] = busy
+}
+
+// Commit finalizes the staged row, spilling the ring to the sidecar
+// when full. Spill errors are held until Flush so the hot path stays
+// error-free.
+func (r *Recorder) Commit() {
+	r.n++
+	r.seq++
+	r.total++
+	if r.n == r.cap {
+		r.spill()
+	}
+}
+
+// Flush spills buffered rows and returns the first error any spill
+// hit. Call once at run end, before the manifest is written.
+func (r *Recorder) Flush() error {
+	r.spill()
+	return r.err
+}
+
+// spill encodes and appends the buffered rows under the writer's lock,
+// reusing the writer's encode buffer.
+func (r *Recorder) spill() {
+	if r.n == 0 {
+		return
+	}
+	w := r.w
+	w.mu.Lock()
+	buf := w.buf[:0]
+	base := uint32(r.total - r.n)
+	for i := 0; i < r.n; i++ {
+		buf = r.appendRow(buf, i, base+uint32(i))
+	}
+	if _, err := w.f.Write(buf); err != nil && r.err == nil {
+		r.err = err
+	}
+	w.buf = buf[:0]
+	w.mu.Unlock()
+	r.n = 0
+}
+
+// appendRow encodes buffered row i (window sequence seq) as one JSON
+// line.
+func (r *Recorder) appendRow(buf []byte, i int, seq uint32) []byte {
+	buf = append(buf, `{"run":`...)
+	buf = strconv.AppendInt(buf, int64(r.run), 10)
+	buf = append(buf, `,"label":`...)
+	buf = appendJSONString(buf, r.label)
+	buf = append(buf, `,"w":`...)
+	buf = strconv.AppendUint(buf, uint64(seq), 10)
+	buf = append(buf, `,"phase":`...)
+	buf = appendJSONString(buf, r.phase[i].String())
+	buf = append(buf, `,"cycle":`...)
+	buf = strconv.AppendUint(buf, r.cycle[i], 10)
+	buf = append(buf, `,"wall":`...)
+	buf = appendJSONFloat(buf, r.wall[i])
+	buf = append(buf, `,"memq":`...)
+	buf = strconv.AppendUint(buf, uint64(r.memq[i]), 10)
+	if r.relCI[i] >= 0 {
+		buf = append(buf, `,"rel_ci":`...)
+		buf = appendJSONFloat(buf, r.relCI[i])
+	}
+	if r.replay[i] != 0 {
+		buf = append(buf, `,"replay":`...)
+		buf = appendJSONFloat(buf, r.replay[i])
+	}
+	buf = append(buf, `,"refs":[`...)
+	for v := 0; v < r.nVM; v++ {
+		if v > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendUint(buf, r.vmRefs[i*r.nVM+v], 10)
+	}
+	buf = append(buf, `],"miss":[`...)
+	for v := 0; v < r.nVM; v++ {
+		if v > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendJSONFloat(buf, r.vmMiss[i*r.nVM+v])
+	}
+	buf = append(buf, `],"cpt":[`...)
+	for v := 0; v < r.nVM; v++ {
+		if v > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendJSONFloat(buf, r.vmCPT[i*r.nVM+v])
+	}
+	buf = append(buf, ']')
+	if r.nDom > 0 {
+		buf = append(buf, `,"dom_cycles":[`...)
+		for d := 0; d < r.nDom; d++ {
+			if d > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendUint(buf, r.domCycles[i*r.nDom+d], 10)
+		}
+		buf = append(buf, `],"dom_busy":[`...)
+		for d := 0; d < r.nDom; d++ {
+			if d > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONFloat(buf, r.domBusy[i*r.nDom+d])
+		}
+		buf = append(buf, ']')
+	}
+	return append(buf, '}', '\n')
+}
+
+// appendJSONFloat encodes f compactly; NaN and infinities (a window
+// with zero transactions) become -1, keeping every line valid JSON.
+func appendJSONFloat(buf []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(buf, '-', '1')
+	}
+	return strconv.AppendFloat(buf, f, 'g', 6, 64)
+}
+
+// appendJSONString encodes s with the minimal escaping row labels need
+// (labels are workload/policy names; control characters never occur).
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c < 0x20:
+			buf = append(buf, ' ')
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}
+
+// TSRow is the decoded form of one sidecar line (reporting and tests).
+type TSRow struct {
+	Run   int     `json:"run"`
+	Label string  `json:"label"`
+	W     uint32  `json:"w"`
+	Phase string  `json:"phase"`
+	Cycle uint64  `json:"cycle"`
+	Wall  float64 `json:"wall"`
+	MemQ  uint32  `json:"memq"`
+	RelCI float64 `json:"rel_ci"`
+	// Replay is the pdes serial-replay seconds accumulated over this
+	// row's window.
+	Replay float64 `json:"replay"`
+
+	Refs []uint64  `json:"refs"`
+	Miss []float64 `json:"miss"`
+	CPT  []float64 `json:"cpt"`
+
+	DomCycles []uint64  `json:"dom_cycles"`
+	DomBusy   []float64 `json:"dom_busy"`
+}
+
+// ReadTimeSeries parses a sidecar back into rows.
+func ReadTimeSeries(path string) ([]TSRow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []TSRow
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for dec.More() {
+		var row TSRow
+		if err := dec.Decode(&row); err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func openTestTS(t *testing.T) (*TSWriter, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ts", "series.jsonl")
+	w, err := OpenTimeSeries(path)
+	if err != nil {
+		t.Fatalf("OpenTimeSeries: %v", err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, path
+}
+
+func TestTimeSeriesRoundTrip(t *testing.T) {
+	w, path := openTestTS(t)
+	r := w.NewRecorder("shared/affinity", 2, 2, 0)
+	if r.Run() != 1 {
+		t.Fatalf("first run id = %d, want 1", r.Run())
+	}
+
+	r.Begin(TSPhaseWarmup, 1000, 0.5, 3, -1, 0)
+	r.VM(0, 8192, 0.02, 5400)
+	r.VM(1, 4096, 0.10, 9100.5)
+	r.Domain(0, 1000, 0.25)
+	r.Domain(1, 990, 0.20)
+	r.Commit()
+
+	r.Begin(TSPhaseMeasure, 2000, 1.25, 0, 0.04, 0.125)
+	r.VM(0, 8192, math.NaN(), math.Inf(1)) // zero-transaction window
+	r.VM(1, 0, 0, 0)
+	r.Domain(0, 2000, 0.5)
+	r.Domain(1, 1980, 0.45)
+	r.Commit()
+
+	if err := r.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if r.Rows() != 2 {
+		t.Fatalf("Rows = %d, want 2", r.Rows())
+	}
+
+	rows, err := ReadTimeSeries(path)
+	if err != nil {
+		t.Fatalf("ReadTimeSeries: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("decoded %d rows, want 2", len(rows))
+	}
+	r0 := rows[0]
+	if r0.Run != 1 || r0.Label != "shared/affinity" || r0.W != 0 || r0.Phase != "warmup" {
+		t.Fatalf("row 0 header = %+v", r0)
+	}
+	if r0.Cycle != 1000 || r0.Wall != 0.5 || r0.MemQ != 3 {
+		t.Fatalf("row 0 scalars = %+v", r0)
+	}
+	if r0.RelCI != 0 { // relCI<0 is omitted from the line entirely
+		t.Fatalf("row 0 rel_ci = %v, want omitted (0)", r0.RelCI)
+	}
+	if r0.Refs[0] != 8192 || r0.Miss[1] != 0.10 || r0.CPT[1] != 9100.5 {
+		t.Fatalf("row 0 VM columns = %+v", r0)
+	}
+	if r0.DomCycles[1] != 990 || r0.DomBusy[0] != 0.25 {
+		t.Fatalf("row 0 domain columns = %+v", r0)
+	}
+	r1 := rows[1]
+	if r1.W != 1 || r1.Phase != "measure" || r1.RelCI != 0.04 || r1.Replay != 0.125 {
+		t.Fatalf("row 1 = %+v", r1)
+	}
+	// NaN/Inf sanitize to -1 so the sidecar stays valid JSON.
+	if r1.Miss[0] != -1 || r1.CPT[0] != -1 {
+		t.Fatalf("row 1 NaN columns = miss %v cpt %v, want -1", r1.Miss[0], r1.CPT[0])
+	}
+}
+
+// TestTimeSeriesSpill fills past the ring capacity and checks every row
+// survives with contiguous window sequence numbers.
+func TestTimeSeriesSpill(t *testing.T) {
+	w, path := openTestTS(t)
+	const capacity, total = 4, 11
+	r := w.NewRecorder("spill", 1, 0, capacity)
+	for i := 0; i < total; i++ {
+		r.Begin(TSPhaseMeasure, uint64(i)*100, float64(i), i, -1, 0)
+		r.VM(0, uint64(i), 0.5, 100)
+		r.Commit()
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	rows, err := ReadTimeSeries(path)
+	if err != nil {
+		t.Fatalf("ReadTimeSeries: %v", err)
+	}
+	if len(rows) != total {
+		t.Fatalf("decoded %d rows, want %d", len(rows), total)
+	}
+	for i, row := range rows {
+		if int(row.W) != i || row.Cycle != uint64(i)*100 || row.Refs[0] != uint64(i) {
+			t.Fatalf("row %d out of order: %+v", i, row)
+		}
+	}
+}
+
+// TestTimeSeriesRunsInterleave checks two recorders share one sidecar
+// without clashing run ids.
+func TestTimeSeriesRunsInterleave(t *testing.T) {
+	w, path := openTestTS(t)
+	a := w.NewRecorder("a", 1, 0, 2)
+	b := w.NewRecorder("b", 1, 0, 2)
+	if a.Run() == b.Run() {
+		t.Fatalf("run ids clash: %d", a.Run())
+	}
+	for i := 0; i < 3; i++ {
+		a.Begin(TSPhaseMeasure, uint64(i), 0, 0, -1, 0)
+		a.VM(0, 1, 0, 0)
+		a.Commit()
+		b.Begin(TSPhaseMeasure, uint64(i), 0, 0, -1, 0)
+		b.VM(0, 2, 0, 0)
+		b.Commit()
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadTimeSeries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, row := range rows {
+		counts[row.Run]++
+	}
+	if counts[a.Run()] != 3 || counts[b.Run()] != 3 {
+		t.Fatalf("per-run row counts = %v", counts)
+	}
+}
+
+// TestRecorderZeroAllocSteadyState pins the recording hot path at zero
+// allocations: Begin/VM/Domain/Commit within capacity must be pure
+// column writes, or -timeseries would break the simulator's
+// steady-state allocation budget.
+func TestRecorderZeroAllocSteadyState(t *testing.T) {
+	w, _ := openTestTS(t)
+	r := w.NewRecorder("alloc", 4, 2, 1<<16)
+	var i uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Begin(TSPhaseMeasure, i, float64(i), 5, -1, 0)
+		for v := 0; v < 4; v++ {
+			r.VM(v, i, 0.02, 5000)
+		}
+		r.Domain(0, i, 0.1)
+		r.Domain(1, i, 0.1)
+		r.Commit()
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("recording path allocates %.1f/row, want 0", allocs)
+	}
+}
+
+func TestTSPhaseNames(t *testing.T) {
+	for _, name := range []string{"warmup", "measure", "window", "fastforward", "snapshot"} {
+		if got := TSPhaseOf(name).String(); got != name {
+			t.Errorf("TSPhaseOf(%q).String() = %q", name, got)
+		}
+	}
+	if TSPhaseOf("no-such-phase") != TSPhaseOther {
+		t.Errorf("unknown phase did not map to other")
+	}
+	if TSPhase(250).String() != "other" {
+		t.Errorf("out-of-range phase did not render as other")
+	}
+}

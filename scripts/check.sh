@@ -22,9 +22,10 @@ fi
 
 echo "== allocation budgets =="
 # Steady-state simulation loop must not allocate (perf regression guard).
-# TestSteadyStateAllocBudget runs with live metrics attached, so the
-# observability publish cadence is inside the guarded path; the sharded
-# variant holds the engine's worker lanes to the same budget.
+# TestSteadyStateAllocBudget runs with live metrics AND a -timeseries
+# recorder attached, so the observability publish cadence is inside the
+# guarded path; the sharded variant holds the engine's worker lanes to
+# the same budget.
 go test -run 'TestSteadyStateAllocBudget' ./internal/core
 go test -run 'TestShardedSteadyStateAllocBudget' ./internal/core
 go test -run 'TestDirectorySteadyStateAllocs' ./internal/coherence
@@ -53,6 +54,29 @@ go test -short -run 'TestParallelEquivalence|TestRunnerPdesOption' ./internal/ha
 go run ./cmd/consim -workloads TPC-H -scale 16 -warm 2000 -meas 20000 \
 	-pdes 4 | grep -q "parallel:" \
 	|| { echo "check.sh: pdes run produced no provenance line" >&2; exit 1; }
+
+echo "== phase profiler smoke =="
+# A -pdes -timeseries run must record per-window telemetry rows and a
+# phase profile whose obs report prints the in-window/replay
+# decomposition; obs diff of two identical runs must exit clean (the
+# wide threshold tolerates wall-clock noise — the wiring is under test,
+# not the machine).
+obs_dir=$(mktemp -d /tmp/consim_obs.XXXXXX)
+for i in 1 2; do
+	go run ./cmd/consim -workloads TPC-H -scale 16 -warm 2000 -meas 20000 \
+		-pdes 4 -timeseries "$obs_dir/ts.jsonl" -manifest "$obs_dir/m.jsonl" >/dev/null
+done
+test -s "$obs_dir/ts.jsonl" || { echo "check.sh: empty time-series sidecar" >&2; exit 1; }
+obs_report=$(go run ./cmd/obs report "$obs_dir/m.jsonl")
+echo "$obs_report" | grep -q "replay" \
+	|| { echo "check.sh: obs report missing the replay term: $obs_report" >&2; exit 1; }
+echo "$obs_report" | grep -q "in-window" \
+	|| { echo "check.sh: obs report missing the in-window term: $obs_report" >&2; exit 1; }
+echo "$obs_report" | grep -q "time series" \
+	|| { echo "check.sh: obs report missing the time-series summary: $obs_report" >&2; exit 1; }
+go run ./cmd/obs diff -threshold 0.5 "$obs_dir/m.jsonl" >/dev/null \
+	|| { echo "check.sh: obs diff flagged two identical runs" >&2; exit 1; }
+rm -rf "$obs_dir"
 
 echo "== bench regression gate =="
 # Throughput-only bench run compared against the committed baseline:
