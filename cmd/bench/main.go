@@ -130,6 +130,14 @@ type SampleSweepReport struct {
 	Speedup   float64 `json:"speedup"`     // total detailed wall / total sampled wall
 	MaxRelErr float64 `json:"max_rel_err"` // worst cell deviation over all figures
 	Pass      bool    `json:"pass"`        // MaxRelErr <= Bound
+
+	// FFCostRatio is the sweep-wide fast-forward cost: wall seconds per
+	// skipped reference as a fraction of wall seconds per detailed
+	// reference, aggregated over every sampled run in the sweep (the
+	// number ROADMAP item 2 tracks; lower is better, 1.0 means skipping a
+	// reference costs as much as simulating it). 0 when no run recorded a
+	// phase split.
+	FFCostRatio float64 `json:"ff_cost_ratio,omitempty"`
 }
 
 // PdesSweepReport is the -pdessweep section: the window width used, the
@@ -240,6 +248,7 @@ func run() (err error) {
 	// not the one being taken now.
 	var base *Report
 	var basePdes *PdesSweepReport
+	var baseFFCost float64
 	if *baseline != "" {
 		hist, err := readReports(*baseline)
 		if err != nil {
@@ -254,6 +263,14 @@ func run() (err error) {
 		for i := len(hist) - 1; i >= 0; i-- {
 			if hist[i].PdesSweep != nil && len(hist[i].PdesSweep.Points) > 0 {
 				basePdes = hist[i].PdesSweep
+				break
+			}
+		}
+		// Likewise the sample sweep's ff cost ratio: gate against the
+		// newest record that measured one.
+		for i := len(hist) - 1; i >= 0; i-- {
+			if ss := hist[i].SampleSweep; ss != nil && ss.FFCostRatio > 0 {
+				baseFFCost = ss.FFCostRatio
 				break
 			}
 		}
@@ -367,7 +384,7 @@ func run() (err error) {
 			*out, n, rep.RefsPerSec, rep.AllocsPerRef)
 	}
 	if base != nil {
-		return gate(rep, *base, basePdes, *baseline)
+		return gate(rep, *base, basePdes, baseFFCost, *baseline)
 	}
 	return nil
 }
@@ -591,21 +608,29 @@ func sampleSweep(list string, scale int, warm, meas, window, maxRefs uint64, par
 	rep.Figures = figs
 	rep.Bound = bound
 	var fullSec, sampSec float64
+	var ff consim.FFCost
 	for _, f := range figs {
 		fullSec += f.FullSeconds
 		sampSec += f.SampledSeconds
 		if f.MaxRelErr > rep.MaxRelErr {
 			rep.MaxRelErr = f.MaxRelErr
 		}
-		fmt.Fprintf(os.Stderr, "[samplesweep %s: %.2fs -> %.2fs (%.1fx), worst cell %s err %.1f%%]\n",
-			f.ID, f.FullSeconds, f.SampledSeconds, f.Speedup(), f.WorstCell, 100*f.MaxRelErr)
+		if f.FFCost != nil {
+			ff.DetailedSeconds += f.FFCost.DetailedSeconds
+			ff.FFSeconds += f.FFCost.FFSeconds
+			ff.DetailedRefs += f.FFCost.DetailedRefs
+			ff.SkippedRefs += f.FFCost.SkippedRefs
+		}
+		fmt.Fprintf(os.Stderr, "[samplesweep %s: %.2fs -> %.2fs (%.1fx), worst cell %s err %.1f%%, ff cost %.2fx]\n",
+			f.ID, f.FullSeconds, f.SampledSeconds, f.Speedup(), f.WorstCell, 100*f.MaxRelErr, f.FFCostRatio)
 	}
 	if sampSec > 0 {
 		rep.Speedup = fullSec / sampSec
 	}
+	rep.FFCostRatio = ff.Ratio()
 	rep.Pass = rep.MaxRelErr <= rep.Bound
-	fmt.Fprintf(os.Stderr, "[samplesweep total: %.1fx speedup, max err %.1f%% vs bound %.1f%%]\n",
-		rep.Speedup, 100*rep.MaxRelErr, 100*rep.Bound)
+	fmt.Fprintf(os.Stderr, "[samplesweep total: %.1fx speedup, max err %.1f%% vs bound %.1f%%, ff cost %.2fx]\n",
+		rep.Speedup, 100*rep.MaxRelErr, 100*rep.Bound, rep.FFCostRatio)
 	if !rep.Pass {
 		return rep, fmt.Errorf("samplesweep: max cell error %.3f exceeds declared bound %.3f", rep.MaxRelErr, rep.Bound)
 	}
@@ -656,8 +681,10 @@ func appendReport(path string, rep Report) (int, error) {
 // any growth at all in allocations per reference, which are
 // deterministic and must only ever go down, or (when both this run and
 // the history carry a pdes sweep) on any worker count whose serial
-// replay share grew more than obs.ApplyFractionGate points.
-func gate(rep, base Report, basePdes *PdesSweepReport, path string) error {
+// replay share grew more than obs.ApplyFractionGate points, or (when
+// both carry a sample sweep) on the fast-forward cost ratio growing
+// more than obs.FFCostGateFrac relative.
+func gate(rep, base Report, basePdes *PdesSweepReport, baseFFCost float64, path string) error {
 	if base.RefsPerSec > 0 && rep.RefsPerSec < base.RefsPerSec*0.9 {
 		return fmt.Errorf("refs_per_sec regressed more than 10%%: %.0f vs baseline %.0f (%s)",
 			rep.RefsPerSec, base.RefsPerSec, path)
@@ -668,6 +695,11 @@ func gate(rep, base Report, basePdes *PdesSweepReport, path string) error {
 	}
 	if rep.PdesSweep != nil && basePdes != nil {
 		if err := obs.GatePdesApply(applyByWorkers(basePdes.Points), applyByWorkers(rep.PdesSweep.Points)); err != nil {
+			return fmt.Errorf("%w (%s)", err, path)
+		}
+	}
+	if rep.SampleSweep != nil {
+		if err := obs.GateFFCost(baseFFCost, rep.SampleSweep.FFCostRatio); err != nil {
 			return fmt.Errorf("%w (%s)", err, path)
 		}
 	}

@@ -214,6 +214,10 @@ type (
 	// FigureComparison is one figure built detailed and sampled, with
 	// wall times and the worst per-cell deviation.
 	FigureComparison = harness.FigureComparison
+	// FFCost aggregates a sampled run set's phase cost split (detailed
+	// windows vs functional fast-forward); Ratio is the fast-forward cost
+	// per skipped reference relative to a detailed reference.
+	FFCost = harness.FFCost
 	// RunComparison is one configuration run detailed and sampled, with
 	// per-VM metric deviations against the CI-derived bound.
 	RunComparison = harness.RunComparison

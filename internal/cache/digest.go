@@ -1,0 +1,32 @@
+package cache
+
+// MixDigest folds v into the running FNV-1a-style digest h. Shared by
+// the cache, coherence and core state digests the warm-walk differential
+// test compares (warming must leave bit-identical state, so a cheap
+// order-sensitive fold is enough — no cryptographic strength needed).
+func MixDigest(h, v uint64) uint64 {
+	h ^= v
+	return h * 1099511628211
+}
+
+// DigestSeed is the conventional starting value for a state digest (the
+// FNV-1a offset basis).
+const DigestSeed = 14695981039346656037
+
+// StateDigest folds the cache's complete observable state into h: every
+// way's tag, LRU stamp, coherence state and VM tag in slot order, the
+// LRU clock, and the access counters. Two caches that processed the
+// same operation sequence digest identically; any divergence in
+// replacement order, contents or accounting changes the digest.
+func (c *Cache) StateDigest(h uint64) uint64 {
+	for i := range c.meta {
+		h = MixDigest(h, uint64(c.meta[i].tag)|uint64(c.meta[i].used)<<32)
+		h = MixDigest(h, uint64(c.states[i])|uint64(c.vms[i])<<8)
+	}
+	h = MixDigest(h, uint64(c.tick))
+	h = MixDigest(h, c.Accesses)
+	h = MixDigest(h, c.Hits)
+	h = MixDigest(h, c.Misses)
+	h = MixDigest(h, c.Evictions)
+	return h
+}

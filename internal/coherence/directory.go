@@ -279,6 +279,17 @@ func (d *Directory) Release(addr sim.Addr) {
 	}
 }
 
+// PrefetchProbe touches addr's home bucket without changing any state:
+// one read pulls the bucket's host cache line in ahead of the demand
+// Get/ProbeSlot, letting the warm walk overlap the table's DRAM miss
+// with other arrays' instead of paying them serially. Collision chains
+// may extend past the line read, but the first probe is the dominant
+// cost at the table's 3/4 load bound. Returns the key bits read so
+// callers can fold them into a sink and keep the load live.
+func (d *Directory) PrefetchProbe(addr sim.Addr) uint64 {
+	return d.slots[d.idx(sim.BlockID(addr))].key
+}
+
 // ProbeSlot locates addr's table slot without creating one. Together with
 // EntryAt and ReleaseSlot it lets eviction paths probe, mutate, and
 // release an entry with a single hash walk instead of one per step. The
@@ -370,6 +381,28 @@ func (d *Directory) CheckInvariants() error {
 	return nil
 }
 
+// StateDigest folds the directory's complete state into h: every live
+// slot's table position, key and entry fields in table order (the table
+// layout is a deterministic function of the operation sequence, so two
+// directories that processed identical traffic digest identically), plus
+// the live count and the lookup counter.
+func (d *Directory) StateDigest(h uint64) uint64 {
+	for i := range d.slots {
+		s := &d.slots[i]
+		if s.key == dirEmptyKey {
+			continue
+		}
+		h = cache.MixDigest(h, uint64(i))
+		h = cache.MixDigest(h, s.key)
+		h = cache.MixDigest(h, s.e.L1Sharers)
+		h = cache.MixDigest(h, s.e.L2Sharers)
+		h = cache.MixDigest(h, uint64(uint8(s.e.L1Owner))|uint64(uint8(s.e.L2Owner))<<8)
+	}
+	h = cache.MixDigest(h, uint64(d.used))
+	h = cache.MixDigest(h, d.Lookups)
+	return h
+}
+
 // DirCacheConfig sizes the per-home-node directory caches.
 type DirCacheConfig struct {
 	Entries int // entries per home node
@@ -416,6 +449,27 @@ func (dc *DirCache) Access(home int, addr sim.Addr) bool {
 	return false
 }
 
+// WarmAccess is Access for the sampling engine's functional-warming
+// walk: identical hit/miss accounting and replacement behaviour, but
+// the tag cache's lookup and miss-fill are fused into one set scan
+// (cache.LookupOrInsert) since warming discards the Way handle anyway.
+func (dc *DirCache) WarmAccess(home int, addr sim.Addr) bool {
+	if dc.per[home].LookupOrInsert(addr, cache.Shared, 0) {
+		dc.Hits++
+		return true
+	}
+	dc.Misses++
+	return false
+}
+
+// PrefetchSet touches home's tag-cache set for addr without changing any
+// state, pulling the set's host cache lines in ahead of the warm walk's
+// demand WarmAccess. Returns the bits read (keep-live sink protocol, as
+// Directory.PrefetchProbe).
+func (dc *DirCache) PrefetchSet(home int, addr sim.Addr) uint64 {
+	return dc.per[home].PrefetchSet(addr)
+}
+
 // Peek reports whether home's directory cache currently holds addr
 // without touching replacement state, counters or contents — the
 // read-only probe the parallel engine's in-window latency estimator uses
@@ -423,6 +477,17 @@ func (dc *DirCache) Access(home int, addr sim.Addr) bool {
 func (dc *DirCache) Peek(home int, addr sim.Addr) bool {
 	_, ok := dc.per[home].Probe(addr)
 	return ok
+}
+
+// StateDigest folds every home node's tag-cache state plus the hit/miss
+// accounting into h.
+func (dc *DirCache) StateDigest(h uint64) uint64 {
+	for _, c := range dc.per {
+		h = c.StateDigest(h)
+	}
+	h = cache.MixDigest(h, dc.Hits)
+	h = cache.MixDigest(h, dc.Misses)
+	return h
 }
 
 // Accesses returns total lookups (hits + misses), for live gauges.

@@ -201,6 +201,24 @@ func ManifestFor(cfg Config, res Result, parallel int) obs.Manifest {
 	}
 }
 
+// FFCostRatio returns the sampled run's fast-forward cost: host wall
+// time per fast-forwarded reference over host wall time per detailed
+// reference (from the phase profile's detailed/ff split). The ratio is
+// the sampling engine's Amdahl term — at a given window geometry the
+// end-to-end speedup is bounded by detailed + ratio*skipped — and the
+// bench gate tracks it like a throughput regression. Zero for detailed
+// runs and for sampled runs that never fast-forwarded.
+func (r Result) FFCostRatio() float64 {
+	s := r.Sample
+	if s.DetailedRefs == 0 || s.SkippedRefs == 0 ||
+		r.Phase.SampleDetailedSeconds <= 0 || r.Phase.SampleFFSeconds <= 0 {
+		return 0
+	}
+	detPerRef := r.Phase.SampleDetailedSeconds / float64(s.DetailedRefs)
+	ffPerRef := r.Phase.SampleFFSeconds / float64(s.SkippedRefs)
+	return ffPerRef / detPerRef
+}
+
 // ByClass returns the results of all VMs running the given workload, in
 // VM order.
 func (r Result) ByClass(c workload.Class) []VMResult {

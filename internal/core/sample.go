@@ -240,10 +240,16 @@ func (s *System) fastForward(perCore uint64) {
 		s.ffStats = make([]vm.Stats, len(s.vms))
 	}
 	bud := s.ffBudgets(perCore)
-	if s.shard != nil {
-		ffLoop(s, bud, shardSource{s.shard})
+	if s.ffOracle {
+		// The pre-specialization walk, kept compiled as the warm walk's
+		// bit-identity oracle (warm_test.go) and benchmark baseline.
+		if s.shard != nil {
+			ffLoop(s, bud, shardSource{s.shard})
+		} else {
+			ffLoop(s, bud, liveSource{})
+		}
 	} else {
-		ffLoop(s, bud, liveSource{})
+		s.warmForward(bud)
 	}
 	s.sample.SkippedRefs += perCore
 	elapsed := time.Since(start).Seconds()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -248,6 +249,49 @@ func TestSampledSteadyStateAllocBudget(t *testing.T) {
 		allocs, measuredRefs, perRef, after.TotalAlloc-before.TotalAlloc)
 	if perRef > 0.001 {
 		t.Fatalf("sampled path allocates: %.6f allocs/ref (budget 0.001)", perRef)
+	}
+}
+
+// TestWarmingAllocBudgetWithTelemetry holds the specialized warming
+// walk to the steady-state budget with the full observability stack
+// attached — live metrics shard AND per-window time-series recorder —
+// since those are exactly what a production `-sample -timeseries` run
+// carries. The recorder's hot path writes preallocated columns only, so
+// fast-forward must stay allocation-free per reference even while every
+// window commits a telemetry row.
+func TestWarmingAllocBudgetWithTelemetry(t *testing.T) {
+	ts, err := obs.OpenTimeSeries(filepath.Join(t.TempDir(), "ts.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	ob := obs.NewObserver(nil, nil, nil)
+	ob.TS = ts
+
+	cfg := sampledCfg(1)
+	cfg.Obs = ob.Hooks()
+	sys := newWarmSystem(t, cfg)
+
+	// One untimed round trip grows lazy structures (directory tables,
+	// the warm walk's per-core contexts, recorder columns) to working
+	// size.
+	sys.fastForward(6_000)
+	sys.runUntil(cfg.WarmupRefs + 2_000)
+
+	const ffRefs, winRefs = 40_000, 4_000
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sys.fastForward(ffRefs)
+	sys.runUntil(cfg.WarmupRefs + 2_000 + winRefs)
+	runtime.ReadMemStats(&after)
+
+	measuredRefs := uint64((ffRefs + winRefs) * len(sys.cores))
+	allocs := after.Mallocs - before.Mallocs
+	perRef := float64(allocs) / float64(measuredRefs)
+	t.Logf("warming with telemetry: %d allocs over %d refs (%.6f allocs/ref, %d bytes)",
+		allocs, measuredRefs, perRef, after.TotalAlloc-before.TotalAlloc)
+	if perRef > 0.001 {
+		t.Fatalf("warming path allocates with telemetry attached: %.6f allocs/ref (budget 0.001)", perRef)
 	}
 }
 

@@ -139,6 +139,20 @@ type System struct {
 	// Nil until the first detailed window completes — uniform until then.
 	ffRate   []uint64
 	ffBudget []uint64 // reusable apportionment scratch
+
+	// warm holds the fast-forward warming contexts (warm.go), built once
+	// per run: sampling validation fixes each active core's runnable, so
+	// the per-core invariants they hoist stay valid across fast-forwards.
+	// ffOracle routes fast-forward through the retained generic ffTiming
+	// walk instead — the differential tests' bit-identity oracle.
+	warm     []warmCore
+	warmPF   bool // lookahead prefetch enabled (footprint exceeds host cache)
+	ffOracle bool
+	// pfSink keeps the warm walk's prefetch reads live (warm.go issues
+	// plain loads of sets/buckets it is about to scan so their DRAM
+	// misses overlap; summing the bits read here stops the compiler from
+	// discarding the loads). Never read.
+	pfSink uint64
 }
 
 // pubTotals snapshots the per-VM counter sums at the last live publish.

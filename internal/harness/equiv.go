@@ -128,6 +128,13 @@ type FigureComparison struct {
 	// (a near-zero cell's relative error is noise, not signal).
 	MaxRelErr float64 `json:"max_rel_err"`
 	WorstCell string  `json:"worst_cell,omitempty"`
+	// FFCost / FFCostRatio describe the sampled build's phase split: wall
+	// and reference totals for detailed windows vs functional fast-forward
+	// over the figure's sampled runs, and the resulting per-reference cost
+	// ratio (Result.FFCostRatio aggregated over the figure; 0 when no run
+	// sampled). Only sampled comparisons populate them.
+	FFCost      *FFCost `json:"ff_cost,omitempty"`
+	FFCostRatio float64 `json:"ff_cost_ratio,omitempty"`
 }
 
 // Speedup returns the figure's wall-clock ratio.
@@ -295,11 +302,18 @@ func CompareSampledFigures(opt Options, sc core.SampleConfig, ids []string) ([]F
 			return nil, 0, err
 		}
 		t1 := time.Now()
+		ffBase := sampRun.FFCostTotals()
 		st, err := sampRun.RunFigure(id)
 		if err != nil {
 			return nil, 0, err
 		}
 		fc.FullSeconds, fc.SampledSeconds = t1.Sub(t0).Seconds(), time.Since(t1).Seconds()
+		// The figure's own sampled runs are the aggregate's growth since
+		// the snapshot (memoized re-reads add nothing, matching wall time).
+		if ff := sampRun.FFCostTotals().sub(ffBase); ff.SkippedRefs > 0 {
+			fc.FFCost = &ff
+			fc.FFCostRatio = ff.Ratio()
+		}
 		fc.MaxRelErr, fc.WorstCell, err = CompareTables(ft, st)
 		if err != nil {
 			return nil, 0, err

@@ -98,6 +98,16 @@ func TestRunnerSampleOption(t *testing.T) {
 	if ci := r.WorstSampleRelCI(); ci <= 0 {
 		t.Errorf("WorstSampleRelCI = %g after a sampled run", ci)
 	}
+	ff := r.FFCostTotals()
+	if ff.SkippedRefs == 0 || ff.DetailedRefs == 0 || ff.FFSeconds <= 0 || ff.DetailedSeconds <= 0 {
+		t.Errorf("FFCostTotals incomplete after a sampled run: %+v", ff)
+	}
+	if ratio := ff.Ratio(); ratio <= 0 {
+		t.Errorf("FFCost.Ratio() = %g after a sampled run", ratio)
+	}
+	if sub := ff.sub(ff); sub.Ratio() != 0 || sub.SkippedRefs != 0 {
+		t.Errorf("FFCost.sub(self) not zero: %+v", sub)
+	}
 
 	// An over-committed configuration (more threads than cores) cannot be
 	// sampled; the runner must fall back to a detailed run, not error.

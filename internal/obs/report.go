@@ -75,8 +75,17 @@ func WritePhaseReport(w io.Writer, m Manifest, rows []TSRow) {
 		fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%   folds, resyncs, publishes\n",
 			"barrier", p.PdesBarrierSeconds, pct(p.PdesBarrierSeconds))
 	case "sample":
-		fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%\n", "detailed", p.SampleDetailedSeconds, pct(p.SampleDetailedSeconds))
-		fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%\n", "fast-forward", p.SampleFFSeconds, pct(p.SampleFFSeconds))
+		fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%   (%d refs/core measured)\n",
+			"detailed", p.SampleDetailedSeconds, pct(p.SampleDetailedSeconds), m.SampleDetailedRefs)
+		fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%   (%d refs/core skipped)\n",
+			"fast-forward", p.SampleFFSeconds, pct(p.SampleFFSeconds), m.SampleSkippedRefs)
+		if m.SampleDetailedRefs > 0 && m.SampleSkippedRefs > 0 &&
+			p.SampleDetailedSeconds > 0 && p.SampleFFSeconds > 0 {
+			det := p.SampleDetailedSeconds / float64(m.SampleDetailedRefs)
+			ff := p.SampleFFSeconds / float64(m.SampleSkippedRefs)
+			fmt.Fprintf(w, "  ff cost ratio %.2fx  (%.0fns/ref ff vs %.0fns/ref detailed; lower is better)\n",
+				ff/det, ff*1e9, det*1e9)
+		}
 	}
 	tracked := p.TrackedSeconds()
 	untracked := m.WallSeconds - tracked
@@ -223,6 +232,7 @@ type RunSummary struct {
 	ApplyFraction float64 // pdes serial-replay share of wall
 	StallSeconds  float64 // pdes/shard spine stall
 	SampleRelCI   float64 // sampled runs only
+	FFCostRatio   float64 // sampled runs only: ff cost per skipped ref vs detailed
 
 	// PdesApply maps worker count -> apply fraction for bench-history
 	// pdes sweeps; nil otherwise.
@@ -243,6 +253,7 @@ func SummarizeManifest(m Manifest) RunSummary {
 		ApplyFraction: absent(),
 		StallSeconds:  absent(),
 		SampleRelCI:   absent(),
+		FFCostRatio:   absent(),
 	}
 	if m.WallSeconds > 0 && m.Refs > 0 {
 		s.RefsPerSec = float64(m.Refs) / m.WallSeconds
@@ -259,6 +270,12 @@ func SummarizeManifest(m Manifest) RunSummary {
 	}
 	if m.SampleWindows > 0 {
 		s.SampleRelCI = m.SampleRelCI
+		if m.Phase != nil && m.SampleDetailedRefs > 0 && m.SampleSkippedRefs > 0 &&
+			m.Phase.SampleDetailedSeconds > 0 && m.Phase.SampleFFSeconds > 0 {
+			det := m.Phase.SampleDetailedSeconds / float64(m.SampleDetailedRefs)
+			ff := m.Phase.SampleFFSeconds / float64(m.SampleSkippedRefs)
+			s.FFCostRatio = ff / det
+		}
 	}
 	return s
 }
@@ -278,6 +295,9 @@ type benchRecord struct {
 			ApplyFraction float64 `json:"apply_fraction"`
 		} `json:"points"`
 	} `json:"pdes_sweep"`
+	SampleSweep *struct {
+		FFCostRatio float64 `json:"ff_cost_ratio"`
+	} `json:"sample_sweep"`
 }
 
 func summarizeBench(b benchRecord) RunSummary {
@@ -290,6 +310,10 @@ func summarizeBench(b benchRecord) RunSummary {
 		ApplyFraction: absent(),
 		StallSeconds:  absent(),
 		SampleRelCI:   absent(),
+		FFCostRatio:   absent(),
+	}
+	if b.SampleSweep != nil && b.SampleSweep.FFCostRatio > 0 {
+		s.FFCostRatio = b.SampleSweep.FFCostRatio
 	}
 	if b.PdesSweep != nil && len(b.PdesSweep.Points) > 0 {
 		s.PdesApply = make(map[int]float64, len(b.PdesSweep.Points))
@@ -415,6 +439,11 @@ func DiffSummaries(w io.Writer, base, cur RunSummary, thresh float64) int {
 	if both(base.SampleRelCI, cur.SampleRelCI) {
 		fmt.Fprintf(w, "  %-16s %10.4f -> %10.4f\n", "sample_rel_ci", base.SampleRelCI, cur.SampleRelCI)
 	}
+	if both(base.FFCostRatio, cur.FFCostRatio) && base.FFCostRatio > 0 {
+		d := (cur.FFCostRatio - base.FFCostRatio) / base.FFCostRatio
+		fmt.Fprintf(w, "  %-16s %10.3f -> %10.3f  (%+.1f%%)%s\n", "ff_cost_ratio", base.FFCostRatio, cur.FFCostRatio, 100*d,
+			flag(d > FFCostGateFrac, fmt.Sprintf("ff cost ratio up %.1f%% (gate %.0f%%)", 100*d, 100*FFCostGateFrac)))
+	}
 	if len(base.PdesApply) > 0 && len(cur.PdesApply) > 0 {
 		workers := make([]int, 0, len(base.PdesApply))
 		for n := range base.PdesApply {
@@ -434,6 +463,30 @@ func DiffSummaries(w io.Writer, base, cur RunSummary, thresh float64) int {
 		fmt.Fprintf(w, "  no regressions beyond thresholds\n")
 	}
 	return regressions
+}
+
+// FFCostGateFrac is the relative growth in the sample sweep's
+// fast-forward cost ratio that trips the regression gates: the ratio is
+// a quotient of two wall-clock measurements, so it inherits both
+// phases' run-to-run noise; 20% relative keeps the gate quiet on a
+// loaded host while still catching a warming-walk deoptimization (the
+// walk's whole specialization margin over the generic path is of that
+// order).
+const FFCostGateFrac = 0.20
+
+// GateFFCost compares sample-sweep fast-forward cost ratios (cmd/bench's
+// regression gate): an error reports cur growing more than
+// FFCostGateFrac relative over base. A missing side (<= 0) gates
+// nothing — older histories predate the field.
+func GateFFCost(base, cur float64) error {
+	if base <= 0 || cur <= 0 {
+		return nil
+	}
+	if cur > base*(1+FFCostGateFrac) {
+		return fmt.Errorf("sample ff_cost_ratio regressed more than %.0f%%: %.3f vs baseline %.3f",
+			100*FFCostGateFrac, cur, base)
+	}
+	return nil
 }
 
 // GatePdesApply compares per-worker apply fractions (cmd/bench's

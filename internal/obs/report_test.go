@@ -124,6 +124,23 @@ func TestDiffSummariesFlagsRegressions(t *testing.T) {
 	if n := DiffSummaries(&b, base, cur, 0.05); n != 0 {
 		t.Fatalf("3%% drop flagged under 5%% threshold:\n%s", b.String())
 	}
+
+	// ff cost ratio: reported when both sides carry it, flagged past the
+	// relative gate.
+	base.FFCostRatio, cur = 0.75, base
+	cur.FFCostRatio = 0.80
+	b.Reset()
+	if n := DiffSummaries(&b, base, cur, 0.05); n != 0 {
+		t.Fatalf("within-gate ff cost growth flagged:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "ff_cost_ratio") {
+		t.Fatalf("ff cost line missing:\n%s", b.String())
+	}
+	cur.FFCostRatio = 0.95
+	b.Reset()
+	if n := DiffSummaries(&b, base, cur, 0.05); n != 1 {
+		t.Fatalf("27%%-relative ff cost growth found %d regressions, want 1:\n%s", n, b.String())
+	}
 }
 
 const benchHistoryJSON = `[
@@ -231,5 +248,25 @@ func TestGatePdesApply(t *testing.T) {
 	// Worker counts absent from the baseline are not gated.
 	if err := GatePdesApply(base, map[int]float64{8: 0.9}); err != nil {
 		t.Errorf("ungated worker count failed: %v", err)
+	}
+}
+
+func TestGateFFCost(t *testing.T) {
+	if err := GateFFCost(0.75, 0.80); err != nil {
+		t.Errorf("within-gate growth failed: %v", err)
+	}
+	if err := GateFFCost(0.75, 0.95); err == nil {
+		t.Error("27%% relative growth passed the 20%% gate")
+	}
+	// A missing side gates nothing (histories predating the field).
+	if err := GateFFCost(0, 0.95); err != nil {
+		t.Errorf("missing baseline gated: %v", err)
+	}
+	if err := GateFFCost(0.75, 0); err != nil {
+		t.Errorf("missing current gated: %v", err)
+	}
+	// Improvement always passes.
+	if err := GateFFCost(0.75, 0.40); err != nil {
+		t.Errorf("improvement failed the gate: %v", err)
 	}
 }

@@ -191,6 +191,27 @@ func (g *Generator) refill(t int) Access {
 	return g.ring[t][0]
 }
 
+// WarmRing exposes thread t's reference ring and current cursor to the
+// sampling engine's warming loop, which drains the ring directly — one
+// hoisted slice index per reference instead of Next's cursor load and
+// store. The ring's backing array is allocated once per generator, so
+// the slice stays valid across refills. A caller that consumes through
+// the ring must mirror every consumption back with WarmSetPos before
+// anything else uses the Next path, and must refill a drained ring
+// (cursor == len(ring)) through WarmRefill so the draw sequence and the
+// shared sampling cursors advance exactly as Next would advance them.
+func (g *Generator) WarmRing(t int) ([]Access, int) {
+	return g.ring[t], g.ringPos[t]
+}
+
+// WarmSetPos stores the ring cursor back after a warming drain.
+func (g *Generator) WarmSetPos(t, pos int) { g.ringPos[t] = pos }
+
+// WarmRefill re-samples thread t's drained ring and returns its first
+// reference, leaving the cursor at 1 — exactly Next's refill path,
+// exported for the warming loop's direct-drain consumption.
+func (g *Generator) WarmRefill(t int) Access { return g.refill(t) }
+
 // threadGenState bundles every per-thread mutable the sampler walks, so
 // one batch can be computed either in place (the synchronous refill) or
 // against a snapshot on another goroutine (the sharded engine's prefill)

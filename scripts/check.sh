@@ -44,6 +44,23 @@ go run ./cmd/consim -workloads TPC-H -scale 16 -warm 2000 -meas 20000 \
 	-sample 1000 -sample-ci 0.2 | grep -q "sampled:" \
 	|| { echo "check.sh: sampled run produced no provenance line" >&2; exit 1; }
 
+echo "== warm-walk smoke =="
+# The specialized warming walk must stay bit-identical to the retained
+# generic oracle (cache tags/LRU, directory, dircache, RNG cursor), and
+# an observed -sample -timeseries run must surface the fast-forward
+# phase split and cost ratio in its obs report.
+go test -short -run 'TestWarmWalkDifferential|TestWarmEntryPointsMatchGeneric' ./internal/core
+warm_dir=$(mktemp -d /tmp/consim_warm.XXXXXX)
+go run ./cmd/consim -workloads TPC-H -scale 16 -warm 2000 -meas 20000 \
+	-sample 1000 -sample-ci 0.2 \
+	-timeseries "$warm_dir/ts.jsonl" -manifest "$warm_dir/m.jsonl" >/dev/null
+warm_report=$(go run ./cmd/obs report "$warm_dir/m.jsonl")
+echo "$warm_report" | grep -q "fast-forward" \
+	|| { echo "check.sh: obs report missing the fast-forward phase: $warm_report" >&2; exit 1; }
+echo "$warm_report" | grep -q "ff cost ratio" \
+	|| { echo "check.sh: obs report missing the ff cost ratio: $warm_report" >&2; exit 1; }
+rm -rf "$warm_dir"
+
 echo "== parallel (pdes) engine smoke =="
 # The split-transaction parallel engine must stay within the equivalence
 # bound of the sequential engine (single seed here; CI's nightly matrix
