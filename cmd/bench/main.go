@@ -151,25 +151,38 @@ type PdesSweepReport struct {
 	Bound        float64     `json:"bound"`
 	Points       []PdesPoint `json:"points"`
 	Pass         bool        `json:"pass"`
+	// GOMAXPROCS/NumCPU pin the host parallelism the sweep ran under, so
+	// 1-CPU curves (speedup < 1 by design) and multi-core curves stay
+	// distinguishable when histories are diffed. Until now only run
+	// manifests carried this.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"num_cpu,omitempty"`
 }
 
 // PdesPoint is one worker count's measurement (best wall time over the
 // iteration count). MaxRelErr is the worst per-VM deviation from the
 // sweep's sequential reference on LLC miss rate and cycles per
 // transaction; StallFraction is spine wall time spent waiting on worker
-// domains at barriers and ApplyFraction wall time in the serial barrier
-// replay — the engine's Amdahl terms.
+// domains at barriers and ApplyFraction the *serial* share of the
+// barrier replay — total replay minus the bank-sharded parallel pass —
+// the engine's Amdahl terms. ReplayParallelFraction is the share of
+// replay time the sharded pass moved off the serial term.
 type PdesPoint struct {
 	Workers       int     `json:"workers"`
 	Domains       int     `json:"domains,omitempty"`
+	ReplayWorkers int     `json:"replay_workers,omitempty"`
 	WallSeconds   float64 `json:"wall_seconds"`
 	RefsPerSec    float64 `json:"refs_per_sec"`
 	Speedup       float64 `json:"speedup"`
 	StallFraction float64 `json:"stall_fraction,omitempty"`
 	ApplyFraction float64 `json:"apply_fraction,omitempty"`
-	Windows       uint64  `json:"windows,omitempty"`
-	Ops           uint64  `json:"ops,omitempty"`
-	MaxRelErr     float64 `json:"max_rel_err"`
+	// ReplayParallelFraction is ReplayParallelSeconds/ApplySeconds: the
+	// share of barrier-replay wall time the bank-sharded pass runs in
+	// parallel (0 on serial-replay points).
+	ReplayParallelFraction float64 `json:"replay_parallel_fraction,omitempty"`
+	Windows                uint64  `json:"windows,omitempty"`
+	Ops                    uint64  `json:"ops,omitempty"`
+	MaxRelErr              float64 `json:"max_rel_err"`
 }
 
 // peakSys returns the high-water mark of memory obtained from the OS.
@@ -464,13 +477,25 @@ func shardScaling(list string, scale int, warm, meas uint64, iters int) ([]Shard
 // so a violation is a real defect, not noise. Speedups are relative to
 // the sequential reference under the report's recorded gomaxprocs.
 func pdesSweep(list string, scale int, warm, meas uint64, iters int, window uint64) (*PdesSweepReport, error) {
-	rep := &PdesSweepReport{Bound: consim.DefaultPdesBound, Pass: true}
+	rep := &PdesSweepReport{
+		Bound:      consim.DefaultPdesBound,
+		Pass:       true,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
 
 	runBest := func(workers int) (consim.Result, float64, error) {
 		cfg := benchCfg(scale, warm, meas, 1)
 		if workers > 1 {
 			cfg.Pdes = workers
 			cfg.PdesWindow = consim.Cycle(window)
+			// Shard the barrier replay at the same width: sharding is
+			// bit-identical to the serial replay, so the sweep measures
+			// the engine the knobs would actually run, and apply_fraction
+			// records the post-sharding serial residue. Pipelining stays
+			// off here — the sweep's MaxRelErr contract is the engine
+			// bound, not the pipeline's staleness trade.
+			cfg.PdesReplayWorkers = workers
 		}
 		var best consim.Result
 		bestWall := 0.0
@@ -498,17 +523,25 @@ func pdesSweep(list string, scale int, warm, meas uint64, iters int, window uint
 			refs += v.Stats.Refs
 		}
 		p := PdesPoint{
-			Workers:     workers,
-			Domains:     res.Pdes.Domains,
-			WallSeconds: wall,
-			RefsPerSec:  float64(refs) / wall,
-			Speedup:     baseWall / wall,
-			Windows:     res.Pdes.Windows,
-			Ops:         res.Pdes.Ops,
+			Workers:       workers,
+			Domains:       res.Pdes.Domains,
+			ReplayWorkers: res.Pdes.ReplayWorkers,
+			WallSeconds:   wall,
+			RefsPerSec:    float64(refs) / wall,
+			Speedup:       baseWall / wall,
+			Windows:       res.Pdes.Windows,
+			Ops:           res.Pdes.Ops,
 		}
 		if wall > 0 {
 			p.StallFraction = res.Pdes.StallSeconds / wall
-			p.ApplyFraction = res.Pdes.ApplySeconds / wall
+			serial := res.Pdes.ApplySeconds - res.Pdes.ReplayParallelSeconds
+			if serial < 0 {
+				serial = 0
+			}
+			p.ApplyFraction = serial / wall
+		}
+		if res.Pdes.ApplySeconds > 0 {
+			p.ReplayParallelFraction = res.Pdes.ReplayParallelSeconds / res.Pdes.ApplySeconds
 		}
 		for v := range res.VMs {
 			if ref.VMs[v].Stats.Refs == 0 {

@@ -94,8 +94,15 @@ func printResult(res consim.Result, regions, snapshot bool) {
 			sa.Windows, sa.DetailedRefs, sa.SkippedRefs, sa.StopReason, sa.AchievedRelCI)
 	}
 	if ps := res.Pdes; ps.Workers > 1 {
-		fmt.Printf("parallel: %d domains (of %d workers), %d windows of %d cycles, %d replayed ops — metrics are estimates\n",
-			ps.Domains, ps.Workers, ps.Windows, ps.Window, ps.Ops)
+		replay := ""
+		if ps.ReplayWorkers > 1 {
+			replay = fmt.Sprintf(", sharded replay x%d", ps.ReplayWorkers)
+			if ps.Pipelined {
+				replay += " pipelined"
+			}
+		}
+		fmt.Printf("parallel: %d domains (of %d workers), %d windows of %d cycles, %d replayed ops%s — metrics are estimates\n",
+			ps.Domains, ps.Workers, ps.Windows, ps.Window, ps.Ops, replay)
 	}
 	fmt.Printf("%-4s %-8s %12s %10s %10s %8s %8s %8s %8s\n",
 		"vm", "workload", "refs", "cyc/tx", "missRate", "missLat", "c2c", "c2cDirty", "memReads")

@@ -81,6 +81,12 @@ const (
 	SampleFlagUsage     = "detailed-window length in per-core references; >0 enables interval-sampled simulation (approximate: metrics become CI-bounded estimates)"
 	PdesFlagUsage       = "split-transaction parallel engine domains inside each simulation: 0/1 = sequential engine, N>1 partitions active cores into N windowed domains (approximate: deviations gated by the equivalence harness)"
 	PdesWindowFlagUsage = "parallel engine window width in cycles (default 16384); wider windows amortize barriers at the price of staler cross-domain coherence"
+	// The sharded-replay pair rides on -pdes: replay sharding alone is a
+	// pure execution-strategy change (bit-identical results), pipelining
+	// trades one window of replica staleness for overlap and is gated
+	// like -pdes itself.
+	PdesReplayWorkersFlagUsage = "parallel workers for the barrier replay (requires -pdes > 1): 0/1 = serial replay, N>1 shards the op log by LLC bank group; results are bit-identical at any value"
+	PdesPipelineFlagUsage      = "overlap each window's cross-group replay merge with the next window (requires -pdes-replay-workers >= 2); approximate: replicas resync one window late, gated by the equivalence harness"
 )
 
 // ValidateShards checks a -shards value against the default 16-core
@@ -129,14 +135,19 @@ func (sf *SampleFlags) Config() SampleConfig {
 // on a CLI, so every command exposes the same two knobs with identical
 // help text.
 type PdesFlags struct {
-	workers int
-	window  uint64
+	workers       int
+	window        uint64
+	replayWorkers int
+	pipeline      bool
 }
 
-// Register installs -pdes and -pdes-window on fs.
+// Register installs -pdes, -pdes-window, -pdes-replay-workers and
+// -pdes-pipeline on fs.
 func (pf *PdesFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&pf.workers, "pdes", 0, PdesFlagUsage)
 	fs.Uint64Var(&pf.window, "pdes-window", 0, PdesWindowFlagUsage)
+	fs.IntVar(&pf.replayWorkers, "pdes-replay-workers", 0, PdesReplayWorkersFlagUsage)
+	fs.BoolVar(&pf.pipeline, "pdes-pipeline", false, PdesPipelineFlagUsage)
 }
 
 // Workers returns the -pdes value (0 when unset).
@@ -145,17 +156,34 @@ func (pf *PdesFlags) Workers() int { return pf.workers }
 // Window returns the -pdes-window value as a cycle count.
 func (pf *PdesFlags) Window() sim.Cycle { return sim.Cycle(pf.window) }
 
-// Apply writes the flag pair into cfg, returning an error when the pair
-// is inconsistent (-pdes-window without -pdes).
+// ReplayWorkers returns the -pdes-replay-workers value (0 when unset).
+func (pf *PdesFlags) ReplayWorkers() int { return pf.replayWorkers }
+
+// Pipeline reports whether -pdes-pipeline was set.
+func (pf *PdesFlags) Pipeline() bool { return pf.pipeline }
+
+// Apply writes the flag set into cfg, returning an error when the
+// combination is inconsistent (companion knobs without -pdes, or
+// -pdes-pipeline without replay sharding).
 func (pf *PdesFlags) Apply(cfg *Config) error {
 	if pf.workers <= 1 {
-		if pf.window != 0 {
+		switch {
+		case pf.window != 0:
 			return fmt.Errorf("-pdes-window requires -pdes > 1")
+		case pf.replayWorkers > 1:
+			return fmt.Errorf("-pdes-replay-workers requires -pdes > 1")
+		case pf.pipeline:
+			return fmt.Errorf("-pdes-pipeline requires -pdes > 1")
 		}
 		return nil
 	}
+	if pf.pipeline && pf.replayWorkers < 2 {
+		return fmt.Errorf("-pdes-pipeline requires -pdes-replay-workers >= 2")
+	}
 	cfg.Pdes = pf.workers
 	cfg.PdesWindow = sim.Cycle(pf.window)
+	cfg.PdesReplayWorkers = pf.replayWorkers
+	cfg.PdesPipeline = pf.pipeline
 	return nil
 }
 
@@ -362,4 +390,14 @@ func CompareParallelRun(cfg Config, workers int, window sim.Cycle, bound float64
 // per-figure comparisons plus the bound cells were judged against.
 func CompareParallelFigures(opt RunnerOptions, workers int, window sim.Cycle, bound float64, ids []string) ([]FigureComparison, float64, error) {
 	return harness.CompareParallelFigures(opt, workers, window, bound, ids)
+}
+
+// CompareShardedParallelRun executes cfg under the parallel engine with
+// the serial barrier replay and again with the replay sharded across
+// replayWorkers bank-group streams (optionally pipelined), reporting
+// per-VM metric deviations against bound (<= 0 selects
+// DefaultPdesBound). Without pipelining the deviation must be exactly
+// zero — replay sharding never changes results.
+func CompareShardedParallelRun(cfg Config, workers, replayWorkers int, pipeline bool, window sim.Cycle, bound float64) (RunComparison, error) {
+	return harness.CompareShardedParallelRun(cfg, workers, replayWorkers, pipeline, window, bound)
 }

@@ -295,6 +295,14 @@ func (d *Directory) PrefetchProbe(addr sim.Addr) uint64 {
 // release an entry with a single hash walk instead of one per step. The
 // index obeys the same validity contract as entry pointers: any insertion
 // or release may move slots.
+//
+// Structurally-frozen concurrency: while no Get, Release or ReleaseSlot
+// runs, the walk reads only slot keys — which nothing mutates — so
+// concurrent ProbeSlot/EntryAt calls from multiple goroutines are safe
+// provided writers touch disjoint entries. The parallel engine's
+// bank-sharded barrier replay relies on exactly this: it Get()s every
+// replay target up front, defers releases, and lets per-group streams
+// probe and mutate their own (provably disjoint) entries concurrently.
 func (d *Directory) ProbeSlot(addr sim.Addr) (int, bool) {
 	key := sim.BlockID(addr)
 	mask := uint64(len(d.slots) - 1)

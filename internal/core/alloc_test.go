@@ -122,3 +122,48 @@ func TestShardedSteadyStateAllocBudget(t *testing.T) {
 		t.Fatalf("sharded path allocates: %.6f allocs/ref (budget 0.001)", perRef)
 	}
 }
+
+// TestPdesShardedAllocBudget holds the pdes engine with bank-sharded
+// replay (and pipelining) to the same steady-state budget: the merged
+// op log, per-stream rank lists, deferred-effect logs and merge cursors
+// are all preallocated and recycled across windows, and the deferred
+// writeback merge keeps its cursor array on the stack — replaying in
+// parallel must not buy back the allocations the serial replay avoided.
+func TestPdesShardedAllocBudget(t *testing.T) {
+	specs := workload.Specs()
+	cfg := DefaultConfig(specs[workload.TPCW], specs[workload.SPECjbb],
+		specs[workload.TPCH], specs[workload.SPECweb])
+	cfg.Scale = 16
+	cfg.GroupSize = 4
+	cfg.WarmupRefs = 40_000
+	cfg.MeasureRefs = 40_000
+	cfg.Pdes = 4
+	cfg.PdesReplayWorkers = 4
+	cfg.PdesPipeline = true
+	cfg.Obs = allocTestHooks(t)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.setupTS()
+
+	// Mirror Run()'s pdes setup: the engine seeds its own per-domain
+	// calendars; only start/stop the worker pool around the run.
+	sys.pdes.start()
+	defer sys.pdes.stop()
+	sys.runUntil(cfg.WarmupRefs)
+
+	const measuredRefs = 40_000 * 16
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sys.runUntil(cfg.WarmupRefs + cfg.MeasureRefs)
+	runtime.ReadMemStats(&after)
+
+	allocs := after.Mallocs - before.Mallocs
+	perRef := float64(allocs) / float64(measuredRefs)
+	t.Logf("pdes sharded steady state: %d allocs over %d refs (%.6f allocs/ref, %d bytes), stats %+v",
+		allocs, measuredRefs, perRef, after.TotalAlloc-before.TotalAlloc, sys.pdes.stats)
+	if perRef > 0.001 {
+		t.Fatalf("sharded replay path allocates: %.6f allocs/ref (budget 0.001)", perRef)
+	}
+}

@@ -164,6 +164,28 @@ type Config struct {
 	// a window; the equivalence bound gates either way.
 	PdesWindow sim.Cycle
 
+	// PdesReplayWorkers shards the barrier replay by LLC bank group:
+	// 0 or 1 (the default) replays the merged op log serially; N > 1
+	// partitions it into per-group streams applied by up to N replay
+	// executors, with order-sensitive cross-group state (memory-
+	// controller queues, directory-cache sets, deferred entry releases)
+	// merged deterministically afterwards. The sharded replay is
+	// bit-identical to the serial one at any worker count — it is a host
+	// optimization, not an accuracy knob — and spawns no goroutines
+	// beyond the window workers (zero at GOMAXPROCS=1). Requires
+	// Pdes > 1.
+	PdesReplayWorkers int
+
+	// PdesPipeline overlaps window k's deferred replay merge with window
+	// k+1's in-window phase: domains open the next window over the
+	// previous frozen tier and resync replicas one window late, with the
+	// bounded staleness modeled by a second warm overlay generation.
+	// Unlike PdesReplayWorkers this IS an accuracy knob — results stay
+	// deterministic per (seed, Pdes, PdesReplayWorkers, PdesWindow) but
+	// differ from the unpipelined stream and are gated by the same
+	// equivalence harness. Requires PdesReplayWorkers >= 2.
+	PdesPipeline bool
+
 	// Obs attaches the observability hooks (metric shard, tracer lane,
 	// progress) the run publishes through; nil runs unobserved. The
 	// hot-path publish cadence keeps the steady-state loop

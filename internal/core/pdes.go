@@ -78,6 +78,16 @@ const (
 	opEvictL1 = uint8(2)
 )
 
+// Worker-task kinds posted through the SPSC rings. e.task is written by
+// the spine before any ring push of the task's sequence number; the
+// ring's release/acquire pair publishes it to the workers.
+const (
+	taskWindow  = uint8(0) // unpipelined: drain one full window
+	taskWindowA = uint8(1) // pipelined: drain until the first uncovered issue
+	taskWindowB = uint8(2) // pipelined: resume the parked issue, drain to horizon
+	taskReplay  = uint8(3) // apply this executor's share of the replay streams
+)
+
 // pdesOp is one logged shared-tier transition, replayed on the spine at
 // the window barrier.
 type pdesOp struct {
@@ -117,9 +127,32 @@ type PdesStats struct {
 	// load-imbalance gauge.
 	Stalls       uint64  `json:"stalls,omitempty"`
 	StallSeconds float64 `json:"stall_seconds,omitempty"`
-	// ApplySeconds is wall time spent in the serial barrier replay — the
-	// Amdahl term that bounds scaling.
+	// ApplySeconds is wall time spent in the barrier replay — serial
+	// merge, sharded per-group application and deferred cross-group
+	// merge together. With ReplayWorkers <= 1 the whole term is the
+	// serial Amdahl term that bounds scaling; with sharding,
+	// ReplayParallelSeconds is the subset spent in the per-group
+	// parallel pass and ReplayMergeSeconds the subset in the
+	// deterministic cross-group merge, so the *serial residue* is
+	// ApplySeconds - ReplayParallelSeconds.
 	ApplySeconds float64 `json:"apply_seconds,omitempty"`
+	// ReplayWorkers is the configured replay shard count (0/1 = serial
+	// replay); Pipelined reports whether window/replay pipelining ran.
+	ReplayWorkers int  `json:"replay_workers,omitempty"`
+	Pipelined     bool `json:"pipelined,omitempty"`
+	// ReplayParallelSeconds is replay wall time spent applying per-group
+	// op streams (parallelizable across replay executors);
+	// ReplayMergeSeconds is the serial deferred merge of cross-group
+	// state (memory-controller writebacks, directory-cache visits,
+	// entry releases). Both are subsets of ApplySeconds.
+	ReplayParallelSeconds float64 `json:"replay_parallel_seconds,omitempty"`
+	ReplayMergeSeconds    float64 `json:"replay_merge_seconds,omitempty"`
+	// PipelineOverlapSeconds is deferred-merge wall time that ran
+	// overlapped with the next window's in-window phase — replay work
+	// moved off the critical path (the overlap is realizable only with
+	// idle host cores; on a 1-CPU host it records opportunity, not
+	// savings).
+	PipelineOverlapSeconds float64 `json:"pipeline_overlap_seconds,omitempty"`
 	// WindowSeconds is spine wall time inside windows (posting work,
 	// running its own domain stripe, waiting for workers — StallSeconds
 	// is the waiting subset); BarrierSeconds is the barrier's replica
@@ -140,8 +173,20 @@ func (c Config) validatePdes() error {
 	if c.Pdes < 0 {
 		return fmt.Errorf("core: negative pdes worker count %d", c.Pdes)
 	}
+	if c.PdesReplayWorkers < 0 {
+		return fmt.Errorf("core: negative pdes replay worker count %d", c.PdesReplayWorkers)
+	}
 	if c.Pdes <= 1 {
+		if c.PdesReplayWorkers > 1 {
+			return fmt.Errorf("core: pdes replay workers require the parallel engine (Pdes > 1)")
+		}
+		if c.PdesPipeline {
+			return fmt.Errorf("core: pdes pipelining requires the parallel engine (Pdes > 1)")
+		}
 		return nil
+	}
+	if c.PdesPipeline && c.PdesReplayWorkers < 2 {
+		return fmt.Errorf("core: pdes pipelining requires PdesReplayWorkers >= 2")
 	}
 	if c.Pdes > c.Cores {
 		return fmt.Errorf("core: %d pdes workers exceed %d cores", c.Pdes, c.Cores)
@@ -198,6 +243,29 @@ type pdesDomain struct {
 	// sequential engine pays only once. Cleared at every barrier, after
 	// which the replayed live tier carries the state.
 	warm map[sim.Addr]coherence.Entry
+	// warmPrev is the previous window's overlay generation, kept live
+	// only under PdesPipeline: during the overlapped phase A the live
+	// tier still lacks window k-1's replay, so estimates consult
+	// warm, then warmPrev, then the (one-window-stale) live tier —
+	// exactly the bounded staleness the pipeline trades for overlap.
+	// Nil (and cost-free) when pipelining is off.
+	warmPrev map[sim.Addr]coherence.Entry
+
+	// Pipelined phase-A park state: the first issue whose estimate would
+	// have to read the live shared tier (not covered by a private-cache
+	// hit or an overlay entry) is stashed here — its reference already
+	// drawn, its stats already counted — and resumed as the first action
+	// of phase B, after the spine's deferred merge has caught the live
+	// tier up. Remaining calendar events are at or past parkT, and the
+	// stashed event popped before any same-time FIFO peer, so
+	// resume-then-drain replays the exact serial pop order.
+	parked    bool
+	parkT     sim.Cycle
+	parkLi    int32
+	parkVM    int32
+	parkBlk   uint64
+	parkAddr  sim.Addr
+	parkWrite bool
 
 	stats    []vm.Stats  // in-window per-VM scratch (Refs/PrivMisses/Upgrades/MissLatSum)
 	touch    [][]uint64  // per-VM footprint shadow bitmaps, folded via MergeTouched
@@ -238,6 +306,27 @@ type pdesEngine struct {
 	// the per-bank breakdown of the serial replay term (which banks the
 	// Amdahl bottleneck actually touches).
 	applyByGroup []uint64
+
+	// Sharded-replay state (replayWorkers > 1; see pdes_replay.go).
+	// task is the kind the next ring posts carry — spine-written before
+	// the pushes, published by the ring's release/acquire pair.
+	task          uint8
+	replayWorkers int
+	pipeline      bool
+	havePrev      bool // pipelined: window k's deferred merge still pending
+	// groupLocal marks bank groups whose entire workload population is
+	// confined to them (every VM with a thread on the group's cores has
+	// ALL threads there): their ops touch provably group-disjoint state
+	// and replay in parallel. streamOf maps a group to its local stream
+	// index (-1 routes to the serial sync stream, index nlocal).
+	groupLocal []bool
+	streamOf   []int32
+	nlocal     int
+	merged     []pdesOp      // reusable merged op log (ascending t, ties by domain)
+	streams    [][]int32     // per-stream rank lists into merged
+	fx         []replayFx    // per-stream deferred cross-group effects
+	wbLogs     [][]memctrl.DeferredWriteback // per-stream views for mem.ApplyMerged
+	mIdx       []int         // reusable per-stream cursors for the deferred merges
 
 	tr    *obs.Tracer
 	lanes []int
@@ -317,6 +406,60 @@ func newPdesEngine(s *System) *pdesEngine {
 	e.wdone = make([]atomic.Uint32, e.execs-1)
 	e.opIdx = make([]int, len(e.domains))
 	e.applyByGroup = make([]uint64, len(s.banks))
+
+	e.replayWorkers = cfg.PdesReplayWorkers
+	e.pipeline = cfg.PdesPipeline
+	e.stats.ReplayWorkers = e.replayWorkers
+	e.stats.Pipelined = e.pipeline
+	if e.replayWorkers > 1 {
+		// Static group-confinement analysis: group g's op stream is
+		// replay-local iff every VM with a thread on g's cores keeps ALL
+		// its threads on g. VM address regions are disjoint by
+		// construction (vm layout in NewSystem), so a local group's ops
+		// can only reference blocks of VMs confined to it — their bank
+		// lines, directory entries, private caches and Stats are touched
+		// by no other stream. Any group hosting a spanning VM routes its
+		// ops to the serial sync stream instead.
+		groups := len(s.banks)
+		e.groupLocal = make([]bool, groups)
+		for g := range e.groupLocal {
+			e.groupLocal[g] = true
+		}
+		for v := range s.assignment {
+			vg := -1
+			for _, c := range s.assignment[v] {
+				g := s.groupOf(c)
+				if vg < 0 {
+					vg = g
+				} else if g != vg {
+					// Spanning VM: every group it touches goes sync.
+					for _, c2 := range s.assignment[v] {
+						e.groupLocal[s.groupOf(c2)] = false
+					}
+					break
+				}
+			}
+		}
+		e.streamOf = make([]int32, groups)
+		for g := range e.streamOf {
+			if e.groupLocal[g] {
+				e.streamOf[g] = int32(e.nlocal)
+				e.nlocal++
+			} else {
+				e.streamOf[g] = -1
+			}
+		}
+		nstreams := e.nlocal + 1
+		e.streams = make([][]int32, nstreams)
+		e.fx = make([]replayFx, nstreams)
+		e.wbLogs = make([][]memctrl.DeferredWriteback, nstreams)
+		e.mIdx = make([]int, nstreams)
+		if e.pipeline {
+			for _, d := range e.domains {
+				d.warmPrev = make(map[sim.Addr]coherence.Entry, 1<<10)
+			}
+		}
+	}
 	return e
 }
 
@@ -384,17 +527,28 @@ func (e *pdesEngine) workerLoop(w int) {
 		if !ok {
 			return
 		}
-		if tr != nil {
-			tr.Begin(lane, "window")
-		}
-		for i := w + 1; i < len(e.domains); i += e.execs {
-			d := e.domains[i]
-			t0 := time.Now()
-			d.run(e.s)
-			d.busySeconds += time.Since(t0).Seconds()
-		}
-		if tr != nil {
-			tr.End(lane)
+		if task := e.task; task == taskReplay {
+			if tr != nil {
+				tr.Begin(lane, "replay")
+			}
+			e.runReplayStreams(w + 1)
+			if tr != nil {
+				tr.End(lane)
+			}
+		} else {
+			if tr != nil {
+				tr.Begin(lane, "window")
+			}
+			park := task == taskWindowA
+			for i := w + 1; i < len(e.domains); i += e.execs {
+				d := e.domains[i]
+				t0 := time.Now()
+				d.run(e.s, park)
+				d.busySeconds += time.Since(t0).Seconds()
+			}
+			if tr != nil {
+				tr.End(lane)
+			}
 		}
 		e.wdone[w].Store(seq)
 	}
@@ -405,34 +559,107 @@ func (e *pdesEngine) workerLoop(w int) {
 // barriers only, so runs overshoot by at most one window's issue rate —
 // deterministically, since the window schedule is deterministic.
 func (e *pdesEngine) runUntil(target uint64) {
-	s := e.s
+	if e.pipeline {
+		e.runWindowsPipelined(target)
+	} else {
+		e.runWindows(target)
+	}
+	// Fold the cumulative footprint shadows so TouchedBlocks is exact at
+	// phase ends. MergeTouched is idempotent, so folding the same shadow
+	// again after the next phase is safe.
+	for v, m := range e.s.vms {
+		for _, d := range e.domains {
+			m.MergeTouched(d.touch[v])
+		}
+	}
+}
+
+// post publishes one task round to every worker ring. e.task is written
+// before the pushes; the ring's release/acquire pair makes it visible to
+// the workers along with the sequence number.
+func (e *pdesEngine) post(task uint8) {
+	e.task = task
+	for w := range e.rings {
+		e.wseq[w]++
+		e.rings[w].Push(e.wseq[w])
+	}
+}
+
+// runSpineStripe drains the spine's own domain stripe for the current
+// phase.
+func (e *pdesEngine) runSpineStripe(park bool) {
+	for i := 0; i < len(e.domains); i += e.execs {
+		d := e.domains[i]
+		t0 := time.Now()
+		d.run(e.s, park)
+		d.busySeconds += time.Since(t0).Seconds()
+	}
+}
+
+// runWindows is the unpipelined window loop: one full in-window phase,
+// then the barrier (with serial or sharded replay).
+func (e *pdesEngine) runWindows(target uint64) {
 	for !e.reached(target) {
 		winStart := time.Now()
 		h := e.nextHorizon()
 		for _, d := range e.domains {
 			d.horizon = h
 		}
-		for w := range e.rings {
-			e.wseq[w]++
-			e.rings[w].Push(e.wseq[w])
-		}
-		for i := 0; i < len(e.domains); i += e.execs {
-			d := e.domains[i]
-			t0 := time.Now()
-			d.run(s)
-			d.busySeconds += time.Since(t0).Seconds()
-		}
+		e.post(taskWindow)
+		e.runSpineStripe(false)
 		e.awaitWorkers()
 		e.stats.WindowSeconds += time.Since(winStart).Seconds()
 		e.barrier()
 	}
-	// Fold the cumulative footprint shadows so TouchedBlocks is exact at
-	// phase ends. MergeTouched is idempotent, so folding the same shadow
-	// again after the next phase is safe.
-	for v, m := range s.vms {
+}
+
+// runWindowsPipelined overlaps window k's deferred replay merge with
+// window k+1's phase A. Each window splits in two: phase A drains every
+// domain until its first issue that would read the live shared tier
+// (covered() gates exactly those reads) while the spine retires the
+// previous window's deferred merge — the only replay work allowed to
+// overlap, since it touches no state phase A reads. Phase B then
+// resumes the parked issues over the fully merged tier and drains to
+// the horizon. Every domain runs the same A/B split regardless of which
+// executor hosts it, so simulated results are independent of
+// GOMAXPROCS; what the host parallelism changes is only whether the
+// overlap is realized as wall-clock savings.
+func (e *pdesEngine) runWindowsPipelined(target uint64) {
+	for !e.reached(target) {
+		winStart := time.Now()
+		h := e.nextHorizon()
 		for _, d := range e.domains {
-			m.MergeTouched(d.touch[v])
+			d.horizon = h
 		}
+		e.post(taskWindowA)
+		var overlapSec float64
+		if e.havePrev {
+			t0 := time.Now()
+			e.applyDeferredPhase()
+			overlapSec = time.Since(t0).Seconds()
+			e.stats.ApplySeconds += overlapSec
+			e.stats.ReplayMergeSeconds += overlapSec
+			e.stats.PipelineOverlapSeconds += overlapSec
+			e.havePrev = false
+		}
+		e.runSpineStripe(true)
+		e.awaitWorkers()
+		e.post(taskWindowB)
+		e.runSpineStripe(false)
+		e.awaitWorkers()
+		e.stats.WindowSeconds += time.Since(winStart).Seconds() - overlapSec
+		e.barrierPipelined()
+	}
+	// Drain the last window's deferred merge before control returns to
+	// the phase boundary (result assembly and stats resets read the
+	// merged state). Not overlap — nothing runs concurrently here.
+	if e.havePrev {
+		t0 := time.Now()
+		e.applyDeferredPhase()
+		sec := time.Since(t0).Seconds()
+		e.stats.ApplySeconds += sec
+		e.stats.ReplayMergeSeconds += sec
+		e.havePrev = false
 	}
 }
 
@@ -483,8 +710,18 @@ func (e *pdesEngine) awaitWorkers() {
 	}
 }
 
-// run drains one domain's calendar up to (exclusive) its horizon.
-func (d *pdesDomain) run(s *System) {
+// run drains one domain's calendar up to (exclusive) its horizon. In
+// park mode (pipelined phase A) it stops at the first issue whose
+// estimate would read the live shared tier; a non-park call resumes the
+// parked issue first. The stashed event popped before any same-time
+// FIFO peer and every remaining event is at or past its time, so
+// resume-then-drain replays the exact single-phase pop order.
+func (d *pdesDomain) run(s *System, park bool) {
+	if d.parked {
+		d.parked = false
+		d.now = d.parkT
+		d.issueWith(s, d.parkT, int(d.parkLi), int(d.parkVM), d.parkBlk, d.parkAddr, d.parkWrite)
+	}
 	h := d.horizon
 	for d.q.Len() > 0 {
 		t, payload := d.q.Peek()
@@ -495,17 +732,49 @@ func (d *pdesDomain) run(s *System) {
 		d.now = t
 		li := payload >> 1
 		if payload&1 == evIssue {
-			d.issue(s, t, li)
+			if !d.issue(s, t, li, park) {
+				return
+			}
 		} else {
 			d.complete(s, t, li)
 		}
 	}
 }
 
-// issue executes one core's next reference: draw it, walk the private
-// hierarchy, and either finish immediately (hit) or schedule the
-// completion one estimated miss latency out.
-func (d *pdesDomain) issue(s *System, t sim.Cycle, li int) {
+// covered reports whether an issue for addr executes entirely against
+// state a pipelined phase A may touch: this domain's warm overlays and
+// its own cores' private caches. It must return true exactly when
+// walk() avoids every live shared-tier read (directory Probe, dir-cache
+// Peek, bank Probe) — those are safe only after the spine's deferred
+// merge has finished.
+func (d *pdesDomain) covered(s *System, c int, addr sim.Addr, write bool) bool {
+	if _, ok := d.warm[addr]; ok {
+		return true // overlay hit: every estimate path short-circuits live reads
+	}
+	if _, ok := d.warmPrev[addr]; ok {
+		return true
+	}
+	if _, ok := s.l0[c].Probe(addr); ok && !write {
+		return true // L0 read hit, no L1 consulted
+	}
+	if w1, ok := s.l1[c].Probe(addr); ok {
+		if !write {
+			return true
+		}
+		// A write over M/E upgrades silently; Shared needs a live
+		// directory estimate.
+		st := s.l1[c].State(w1)
+		return st == cache.Modified || st == cache.Exclusive
+	}
+	return false
+}
+
+// issue executes one core's next reference: draw it, then walk the
+// private hierarchy — or, in park mode, stash the drawn reference when
+// its walk would read the live shared tier (returning false to stop the
+// phase). The draw side (RNG, footprint, ref counts) always happens
+// here, exactly once per reference.
+func (d *pdesDomain) issue(s *System, t sim.Cycle, li int, park bool) bool {
 	c := d.cores[li]
 	cs := &s.cores[c]
 	if cs.cur >= len(cs.queue) {
@@ -518,24 +787,43 @@ func (d *pdesDomain) issue(s *System, t sim.Cycle, li int) {
 	blk := acc.Block
 	d.touch[run.vmID][blk/64] |= 1 << (blk % 64)
 	addr := m.AddrOf(blk)
-	st := &d.stats[run.vmID]
-	st.Refs++
+	d.stats[run.vmID].Refs++
 	cs.refs++
 
-	lat, fillSt, miss := d.walk(s, t, c, run.vmID, addr, acc.Write)
+	if park && !d.covered(s, c, addr, acc.Write) {
+		d.parked = true
+		d.parkT = t
+		d.parkLi = int32(li)
+		d.parkVM = int32(run.vmID)
+		d.parkBlk = blk
+		d.parkAddr = addr
+		d.parkWrite = acc.Write
+		return false
+	}
+	d.issueWith(s, t, li, run.vmID, blk, addr, acc.Write)
+	return true
+}
+
+// issueWith is the post-draw half of issue: walk the private hierarchy,
+// then either finish immediately (hit) or schedule the completion one
+// estimated miss latency out.
+func (d *pdesDomain) issueWith(s *System, t sim.Cycle, li, vmID int, blk uint64, addr sim.Addr, write bool) {
+	c := d.cores[li]
+	st := &d.stats[vmID]
+	lat, fillSt, miss := d.walk(s, t, c, vmID, addr, write)
 	if miss {
 		st.PrivMisses++
 		st.MissLatSum += lat
 		d.ops = append(d.ops, pdesOp{
 			t: t, addr: addr, lat: uint32(lat),
-			kind: opFetch, core: uint8(c), vm: uint8(run.vmID),
-			region: uint8(s.regions[run.vmID].Of(blk)), write: acc.Write,
+			kind: opFetch, core: uint8(c), vm: uint8(vmID),
+			region: uint8(s.regions[vmID].Of(blk)), write: write,
 		})
-		d.pend[li] = pdesPending{addr: addr, vmID: int32(run.vmID), st: fillSt}
+		d.pend[li] = pdesPending{addr: addr, vmID: int32(vmID), st: fillSt}
 		d.q.Push(t+lat, li<<1|evComplete)
 		return
 	}
-	d.finish(s, t+lat, li, c, run.vmID)
+	d.finish(s, t+lat, li, c, vmID)
 }
 
 // complete installs an in-flight miss's fill into the issuing core's
@@ -696,6 +984,13 @@ func (d *pdesDomain) warmView(s *System, addr sim.Addr, g int) (coherence.Entry,
 	if w, ok := d.warm[addr]; ok {
 		return w, w.HasL2(g), true
 	}
+	// Pipelined runs keep the previous window's overlay generation live:
+	// the shared tier lags one window behind, so last window's view is
+	// fresher than the live one for blocks it covers. warmPrev is nil
+	// (and this lookup free) when pipelining is off.
+	if w, ok := d.warmPrev[addr]; ok {
+		return w, w.HasL2(g), true
+	}
 	ent := d.probeEntry(s, addr)
 	_, bHit := s.banks[g].Probe(addr)
 	return ent, bHit, false
@@ -798,6 +1093,9 @@ func (d *pdesDomain) estimateInvalidate(s *System, at sim.Cycle, c int, addr sim
 	home := s.dir.Home(addr)
 	t := d.route(at, c, home, CtrlFlits)
 	_, warmed := d.warm[addr]
+	if !warmed {
+		_, warmed = d.warmPrev[addr]
+	}
 	dirHit := warmed || s.dirCache.Peek(home, addr)
 	t = d.dirVisit(t, home)
 	if !dirHit {
@@ -1020,13 +1318,11 @@ func (s *System) applyEvictL1(op *pdesOp) {
 	s.evictPrivateVictim(int(op.core), cache.Line{Tag: op.addr, State: st})
 }
 
-// barrier folds every domain's window into the live machine: contention
-// replicas (busy-until by max, mesh load by delta, counters by delta),
-// per-VM scratch stats, then the serial op replay, then replica resync
-// for the next window.
-func (e *pdesEngine) barrier() {
+// foldWindow folds every domain's window into the live machine:
+// contention replicas (busy-until by max, mesh load by delta, counters
+// by delta) and per-VM scratch stats. Returns the latest domain clock.
+func (e *pdesEngine) foldWindow() sim.Cycle {
 	s := e.s
-	barStart := time.Now()
 	var maxT sim.Cycle
 	for _, d := range e.domains {
 		d.opsTotal += uint64(len(d.ops))
@@ -1062,13 +1358,15 @@ func (e *pdesEngine) barrier() {
 			maxT = d.now
 		}
 	}
+	return maxT
+}
 
-	applyStart := time.Now()
-	e.applyOps()
-	applySec := time.Since(applyStart).Seconds()
-	e.stats.ApplySeconds += applySec
-	e.stats.Windows++
-
+// advanceClock commits the folded window's clock and global ref count.
+// maxT is at or past every logged op time, so skipping the serial
+// replay's per-op s.now stepping (as the sharded replay does) leaves an
+// identical final clock.
+func (e *pdesEngine) advanceClock(maxT sim.Cycle) {
+	s := e.s
 	if maxT > s.now {
 		s.now = maxT
 	}
@@ -1077,9 +1375,15 @@ func (e *pdesEngine) barrier() {
 		refs += s.cores[c].refs
 	}
 	s.globalRefs = refs
+}
 
-	// Resync the replicas from the folded live state for the next
-	// window; the replayed live tier now carries the overlay's effects.
+// resyncReplicas re-bases every domain's contention replicas from the
+// folded live state for the next window. Unpipelined, the warm overlay
+// simply clears (the replayed live tier now carries its effects);
+// pipelined, the generations swap — last window's overlay stays
+// consultable while the live tier still lacks its deferred merge.
+func (e *pdesEngine) resyncReplicas(swapOverlay bool) {
+	s := e.s
 	for _, d := range e.domains {
 		copy(d.bankBusy, s.bankBusy)
 		copy(d.dirBusy, s.dirBusy)
@@ -1087,8 +1391,62 @@ func (e *pdesEngine) barrier() {
 		d.net.SyncLoad(s.net)
 		d.netBase.SyncLoad(s.net)
 		d.rebase()
+		if swapOverlay {
+			d.warm, d.warmPrev = d.warmPrev, d.warm
+		}
 		clear(d.warm)
 	}
+}
+
+// barrier folds every domain's window into the live machine, replays
+// the merged op log (serially, or group-sharded when replay workers are
+// configured), then resyncs the replicas for the next window.
+func (e *pdesEngine) barrier() {
+	s := e.s
+	barStart := time.Now()
+	maxT := e.foldWindow()
+
+	applyStart := time.Now()
+	if e.replayWorkers > 1 {
+		e.applyOpsSharded(false)
+	} else {
+		e.applyOps()
+	}
+	applySec := time.Since(applyStart).Seconds()
+	e.stats.ApplySeconds += applySec
+	e.stats.Windows++
+
+	e.advanceClock(maxT)
+	e.resyncReplicas(false)
+
+	if s.hooks != nil {
+		s.publishLive()
+	}
+	e.stats.BarrierSeconds += time.Since(barStart).Seconds() - applySec
+}
+
+// barrierPipelined is the pipelined barrier: the sharded merge and
+// per-group parallel pass run here (workers quiescent between the
+// phase-B join and the next phase-A post), but the serial deferred
+// merge is left pending for the next window's phase A to overlap.
+// publishLive stays here too — it reads worker-mutated state (private
+// cache counters, domain clocks) and so must not run during a window.
+// Its published totals lag the deferred effects by one window; the
+// drained final merge squares the books before results are read.
+func (e *pdesEngine) barrierPipelined() {
+	s := e.s
+	barStart := time.Now()
+	maxT := e.foldWindow()
+
+	applyStart := time.Now()
+	e.applyOpsSharded(true)
+	applySec := time.Since(applyStart).Seconds()
+	e.stats.ApplySeconds += applySec
+	e.stats.Windows++
+
+	e.advanceClock(maxT)
+	e.resyncReplicas(true)
+	e.havePrev = true
 
 	if s.hooks != nil {
 		s.publishLive()

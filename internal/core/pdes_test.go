@@ -45,6 +45,8 @@ func comparePdes(t *testing.T, cfg Config, workers int) float64 {
 	t.Helper()
 	seq := cfg
 	seq.Pdes = 1
+	seq.PdesReplayWorkers = 0
+	seq.PdesPipeline = false
 	want := mustRun(t, seq)
 
 	par := cfg

@@ -175,3 +175,47 @@ func TestPhaseTelemetryPreservesGoldens(t *testing.T) {
 		t.Fatalf("telemetry perturbed the simulation:\n got %s\nwant %s", got, want)
 	}
 }
+
+// TestPdesShardedPhaseProfile extends the coverage contract to the
+// bank-sharded, pipelined replay: the new parallel/merge/overlap terms
+// must decompose the total replay time, the window term must have the
+// overlapped merge time subtracted (so window + replay + barrier still
+// accounts for the wall without double counting), and the serial-residue
+// apply fraction must come in under the all-serial replay share.
+func TestPdesShardedPhaseProfile(t *testing.T) {
+	cfg := fastCfg(4, sched.Affinity, workload.TPCW, workload.SPECjbb, workload.TPCH, workload.SPECweb)
+	cfg.Pdes = 4
+	cfg.PdesReplayWorkers = 4
+	cfg.PdesPipeline = true
+	res, _ := runWithTS(t, cfg)
+
+	p := res.Phase
+	if p.PdesReplayParallelSeconds <= 0 || p.PdesReplayMergeSeconds <= 0 {
+		t.Fatalf("sharded replay terms missing: %+v", p)
+	}
+	if p.PdesPipelineOverlapSec <= 0 {
+		t.Fatalf("pipeline overlap missing: %+v", p)
+	}
+	if p.PdesReplayParallelSeconds+p.PdesReplayMergeSeconds > p.PdesReplaySeconds {
+		t.Fatalf("parallel %.4f + merge %.4f exceed total replay %.4f",
+			p.PdesReplayParallelSeconds, p.PdesReplayMergeSeconds, p.PdesReplaySeconds)
+	}
+	if p.PdesPipelineOverlapSec > p.PdesReplayMergeSeconds*1.0001 {
+		t.Fatalf("overlap %.4f exceeds merge %.4f", p.PdesPipelineOverlapSec, p.PdesReplayMergeSeconds)
+	}
+	tracked := p.TrackedSeconds()
+	if dev := math.Abs(tracked-res.WallSeconds) / res.WallSeconds; dev > 0.02 {
+		t.Fatalf("sharded decomposition off by %.1f%%: tracked %.4f vs wall %.4f", 100*dev, tracked, res.WallSeconds)
+	}
+	serialShare := p.ApplyFraction(res.WallSeconds)
+	totalShare := p.PdesReplaySeconds / res.WallSeconds
+	if serialShare <= 0 || serialShare >= totalShare {
+		t.Fatalf("serial apply fraction %.4f not inside (0, total replay share %.4f)", serialShare, totalShare)
+	}
+	if prf := p.ParallelReplayFraction(); prf <= 0 || prf >= 1 {
+		t.Fatalf("parallel replay fraction = %v", prf)
+	}
+	t.Logf("replay %.3fs = parallel %.3f + merge %.3f (+ serial residue), overlap %.3f; apply fraction %.3f vs all-serial %.3f",
+		p.PdesReplaySeconds, p.PdesReplayParallelSeconds, p.PdesReplayMergeSeconds,
+		p.PdesPipelineOverlapSec, serialShare, totalShare)
+}

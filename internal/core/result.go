@@ -195,9 +195,11 @@ func ManifestFor(cfg Config, res Result, parallel int) obs.Manifest {
 		PdesWindowCycles: uint64(res.Pdes.Window),
 		PdesWindows:      res.Pdes.Windows,
 		PdesOps:          res.Pdes.Ops,
-		PdesStalls:       res.Pdes.Stalls,
-		PdesStallSeconds: res.Pdes.StallSeconds,
-		PdesApplySeconds: res.Pdes.ApplySeconds,
+		PdesStalls:        res.Pdes.Stalls,
+		PdesStallSeconds:  res.Pdes.StallSeconds,
+		PdesApplySeconds:  res.Pdes.ApplySeconds,
+		PdesReplayWorkers: res.Pdes.ReplayWorkers,
+		PdesPipelined:     res.Pdes.Pipelined,
 	}
 }
 

@@ -603,6 +603,9 @@ func (s *System) foldPhaseProfile() {
 		p.PdesReplaySeconds = e.stats.ApplySeconds
 		p.PdesBarrierSeconds = e.stats.BarrierSeconds
 		p.PdesStallSeconds = e.stats.StallSeconds
+		p.PdesReplayParallelSeconds = e.stats.ReplayParallelSeconds
+		p.PdesReplayMergeSeconds = e.stats.ReplayMergeSeconds
+		p.PdesPipelineOverlapSec = e.stats.PipelineOverlapSeconds
 		for i, d := range e.domains {
 			p.Domains = append(p.Domains, obs.DomainPhase{
 				Domain:      i,

@@ -114,3 +114,95 @@ func TestRunnerPdesClampsWorkers(t *testing.T) {
 		t.Errorf("workers = %d, want clamped to %d cores", res.Pdes.Workers, cfg.Cores)
 	}
 }
+
+// TestShardedReplayEquivalence gates the bank-sharded replay at harness
+// level: without pipelining the sharded run must match the serial-
+// replay run EXACTLY (zero deviation — sharding is execution strategy,
+// not a model change); with pipelining the one-window staleness must
+// stay inside DefaultPdesBound.
+func TestShardedReplayEquivalence(t *testing.T) {
+	seeds := []uint64{1, 7}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		cmp, err := CompareShardedParallelRun(equivCfg(seed), 4, 4, false, 0, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if ps := cmp.Sampled.Pdes; ps.ReplayWorkers != 4 || ps.Pipelined {
+			t.Fatalf("seed %d: sharded replay did not engage: %+v", seed, ps)
+		}
+		if cmp.MaxRelErr != 0 {
+			t.Errorf("seed %d: sharded replay deviates from serial replay: %.6f (must be exactly 0)",
+				seed, cmp.MaxRelErr)
+		}
+
+		pcmp, err := CompareShardedParallelRun(equivCfg(seed), 4, 4, true, 0, 0)
+		if err != nil {
+			t.Fatalf("seed %d pipelined: %v", seed, err)
+		}
+		if ps := pcmp.Sampled.Pdes; !ps.Pipelined {
+			t.Fatalf("seed %d: pipeline did not engage: %+v", seed, ps)
+		}
+		t.Logf("seed %d: pipelined maxRelErr=%.4f bound=%.3f", seed, pcmp.MaxRelErr, pcmp.Bound)
+		if !pcmp.Within() {
+			t.Errorf("seed %d: pipelined deviation %.3f exceeds bound %.3f",
+				seed, pcmp.MaxRelErr, pcmp.Bound)
+		}
+	}
+}
+
+// TestRunnerPdesReplayOption checks the runner-wide replay knobs: they
+// ride along only when the runner's Pdes option engages, and a config
+// that owns its replay setting keeps it.
+func TestRunnerPdesReplayOption(t *testing.T) {
+	r := NewRunner(Options{
+		Scale:             16,
+		WarmupRefs:        5_000,
+		MeasureRefs:       30_000,
+		Seed:              1,
+		Pdes:              4,
+		PdesReplayWorkers: 4,
+		PdesPipeline:      true,
+	})
+
+	cfg := equivCfg(1)
+	cfg.WarmupRefs, cfg.MeasureRefs = 5_000, 30_000
+	res, err := r.simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pdes.ReplayWorkers != 4 || !res.Pdes.Pipelined {
+		t.Errorf("runner replay options did not reach the config: %+v", res.Pdes)
+	}
+
+	// A config that pins its own replay worker count keeps it, and the
+	// pipeline flag does not ride along against its choice.
+	own := cfg
+	own.Pdes = 4
+	own.PdesReplayWorkers = 2
+	res, err = r.simulate(own)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pdes.ReplayWorkers != 2 || res.Pdes.Pipelined {
+		t.Errorf("explicit replay config overridden: %+v", res.Pdes)
+	}
+
+	// Without a runner-wide Pdes the replay knobs never apply.
+	r2 := NewRunner(Options{
+		Scale:             16,
+		WarmupRefs:        5_000,
+		MeasureRefs:       30_000,
+		Seed:              1,
+		PdesReplayWorkers: 4,
+	})
+	res, err = r2.simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pdes.ReplayWorkers != 0 {
+		t.Errorf("replay workers applied without pdes: %+v", res.Pdes)
+	}
+}

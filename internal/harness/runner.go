@@ -63,6 +63,17 @@ type Options struct {
 	// PdesWindow overrides the parallel engine's window width in cycles
 	// (0 = core.DefaultPdesWindow).
 	PdesWindow sim.Cycle
+	// PdesReplayWorkers shards each pdes run's barrier replay by LLC
+	// bank group (core.Config.PdesReplayWorkers): 0/1 keep the serial
+	// replay, N>1 applies per-group op streams in parallel. Pure
+	// execution strategy — results stay bit-identical to the serial
+	// replay at any value. Only applied alongside a runner-wide Pdes.
+	PdesReplayWorkers int
+	// PdesPipeline overlaps each window's cross-group replay merge with
+	// the next window (core.Config.PdesPipeline; requires
+	// PdesReplayWorkers >= 2). Like Pdes itself this changes the
+	// simulated stream — deterministic and equivalence-gated.
+	PdesPipeline bool
 	// Replicates runs each configuration this many times with perturbed
 	// seeds and reports merged metrics, per the Alameldeen-Wood
 	// statistical simulation methodology the paper's §V adopts (0/1 =
@@ -317,6 +328,10 @@ func (r *Runner) simulate(cfg core.Config) (core.Result, error) {
 		}
 		if cfg.PdesWindow == 0 {
 			cfg.PdesWindow = r.opt.PdesWindow
+		}
+		if cfg.PdesReplayWorkers == 0 {
+			cfg.PdesReplayWorkers = r.opt.PdesReplayWorkers
+			cfg.PdesPipeline = r.opt.PdesPipeline && cfg.PdesReplayWorkers > 1
 		}
 	}
 	r.sims.Add(1)

@@ -70,8 +70,22 @@ func WritePhaseReport(w io.Writer, m Manifest, rows []TSRow) {
 	case "pdes":
 		fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%   (stall %.3fs, %.1f%%)\n",
 			"in-window", p.PdesWindowSeconds, pct(p.PdesWindowSeconds), p.PdesStallSeconds, pct(p.PdesStallSeconds))
-		fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%   serial op replay (Amdahl term)\n",
-			"replay", p.PdesReplaySeconds, pct(p.PdesReplaySeconds))
+		replayNote := "serial op replay (Amdahl term)"
+		if p.PdesReplayParallelSeconds > 0 {
+			replayNote = "barrier op replay (sharded; serial residue below)"
+		}
+		fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%   %s\n",
+			"replay", p.PdesReplaySeconds, pct(p.PdesReplaySeconds), replayNote)
+		if p.PdesReplayParallelSeconds > 0 {
+			fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%   per-group parallel pass (%d replay workers)\n",
+				"  parallel", p.PdesReplayParallelSeconds, pct(p.PdesReplayParallelSeconds), m.PdesReplayWorkers)
+			fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%   cross-group deferred merge\n",
+				"  merge", p.PdesReplayMergeSeconds, pct(p.PdesReplayMergeSeconds))
+			if p.PdesPipelineOverlapSec > 0 {
+				fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%   merge overlapped with next window\n",
+					"  overlap", p.PdesPipelineOverlapSec, pct(p.PdesPipelineOverlapSec))
+			}
+		}
 		fmt.Fprintf(w, "  %-14s %8.3fs %5.1f%%   folds, resyncs, publishes\n",
 			"barrier", p.PdesBarrierSeconds, pct(p.PdesBarrierSeconds))
 	case "sample":
@@ -115,17 +129,34 @@ func WritePhaseReport(w io.Writer, m Manifest, rows []TSRow) {
 		}
 	}
 	if len(p.PdesApplyOpsByGroup) > 0 {
-		total := uint64(0)
+		total, max := uint64(0), uint64(0)
 		for _, n := range p.PdesApplyOpsByGroup {
 			total += n
+			if n > max {
+				max = n
+			}
 		}
-		fmt.Fprintf(w, "replay ops by LLC group (serial apply breakdown):\n")
+		fmt.Fprintf(w, "replay ops by LLC group (barrier replay breakdown):\n")
 		for g, n := range p.PdesApplyOpsByGroup {
 			share := 0.0
 			if total > 0 {
 				share = 100 * float64(n) / float64(total)
 			}
 			fmt.Fprintf(w, "  group %-2d ops=%-10d (%.1f%%)\n", g, n, share)
+		}
+		// Shard balance: with one replay stream per group, the parallel
+		// pass finishes when the largest stream does, so max/mean op
+		// imbalance bounds the sharded-replay speedup regardless of
+		// worker count. Computable from any manifest, sharded or not —
+		// it predicts the win before the knob is turned.
+		if total > 0 && max > 0 {
+			mean := float64(total) / float64(len(p.PdesApplyOpsByGroup))
+			imb := float64(max) / mean
+			fmt.Fprintf(w, "  shard balance: max/mean %.2fx -> parallel-replay speedup bound %.2fx over %d groups\n",
+				imb, float64(total)/float64(max), len(p.PdesApplyOpsByGroup))
+		}
+		if prf := p.ParallelReplayFraction(); prf > 0 {
+			fmt.Fprintf(w, "  parallel replay fraction %.3f (share of replay moved off the serial term)\n", prf)
 		}
 	}
 	if len(p.LaneBusySeconds) > 0 {
@@ -491,7 +522,12 @@ func GateFFCost(base, cur float64) error {
 
 // GatePdesApply compares per-worker apply fractions (cmd/bench's
 // regression gate): an error names the first worker count whose serial
-// replay share grew more than ApplyFractionGate points over base.
+// replay share grew more than ApplyFractionGate points over base. The
+// fraction fed in is PhaseProfile.ApplyFraction, which since the
+// bank-sharded replay counts only the serial residue (total replay
+// minus the parallel per-group pass) — a sweep run with replay workers
+// therefore gates the post-sharding serial term, and losing the
+// parallel pass shows up as the regression it is.
 func GatePdesApply(base, cur map[int]float64) error {
 	workers := make([]int, 0, len(cur))
 	for n := range cur {

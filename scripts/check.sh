@@ -28,6 +28,7 @@ echo "== allocation budgets =="
 # the same budget.
 go test -run 'TestSteadyStateAllocBudget' ./internal/core
 go test -run 'TestShardedSteadyStateAllocBudget' ./internal/core
+go test -run 'TestPdesShardedAllocBudget' ./internal/core
 go test -run 'TestDirectorySteadyStateAllocs' ./internal/coherence
 
 echo "== sharded engine smoke =="
@@ -71,6 +72,16 @@ go test -short -run 'TestParallelEquivalence|TestRunnerPdesOption' ./internal/ha
 go run ./cmd/consim -workloads TPC-H -scale 16 -warm 2000 -meas 20000 \
 	-pdes 4 | grep -q "parallel:" \
 	|| { echo "check.sh: pdes run produced no provenance line" >&2; exit 1; }
+
+echo "== sharded replay smoke =="
+# The bank-sharded barrier replay must stay bit-identical to the serial
+# replay, the pipelined variant deterministic, the merged memctrl order
+# exact, and the CLI knobs must engage (the provenance line says so).
+go test -short -run 'TestShardedReplayBitIdentical|TestPdesPipelineDeterministic|TestPdesReplayValidation' ./internal/core
+go test -run 'TestShardedReplayMemctrlMerge' ./internal/memctrl
+go run ./cmd/consim -workloads TPC-H -scale 16 -warm 2000 -meas 20000 \
+	-pdes 4 -pdes-replay-workers 4 -pdes-pipeline | grep -q "sharded replay x4 pipelined" \
+	|| { echo "check.sh: sharded replay produced no provenance line" >&2; exit 1; }
 
 echo "== phase profiler smoke =="
 # A -pdes -timeseries run must record per-window telemetry rows and a
